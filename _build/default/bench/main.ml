@@ -1,0 +1,202 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every reproduction table
+   (E1–E12, see DESIGN.md §3 and EXPERIMENTS.md) at full parameters and
+   then times the underlying machinery with Bechamel — one benchmark
+   per experiment, measuring the work that experiment's table is built
+   from, plus kernel micro-benchmarks.
+
+     dune exec bench/main.exe               # tables + timings
+     dune exec bench/main.exe -- --tables   # tables only
+     dune exec bench/main.exe -- --micro    # timings only *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------- the tables ------------------------- *)
+
+let print_tables () =
+  Format.printf "=================================================================@.";
+  Format.printf "Reproduction tables (Wang & Zuck 1989), full parameters@.";
+  Format.printf "=================================================================@.@.";
+  List.iter
+    (fun r -> Format.printf "%a@.@." Core.Experiments.pp_result r)
+    (Core.Experiments.all ());
+  Format.printf "@."
+
+(* ------------------------- the micro-benchmarks ------------------------- *)
+
+(* One Test.make per experiment: each stages the dominant computation
+   behind that experiment's table, at a size that completes in
+   milliseconds so Bechamel can sample it. *)
+
+let e1_workload () =
+  (* Exhaustive verification of the tight protocol at m=2. *)
+  let p = Protocols.Norep.dup ~m:2 in
+  List.iter
+    (fun input ->
+      ignore
+        (Kernel.Runner.run p ~input:(Array.of_list input)
+           ~strategy:(Kernel.Strategy.fair_random ()) ~rng:(Stdx.Rng.create 1) ~max_steps:2_000
+           ()))
+    (Seqspace.Norep.enumerate ~m:2)
+
+let e2_workload () =
+  ignore
+    (Core.Attack.search_pair
+       (Protocols.Counting.protocol_on Channel.Chan.Reorder_dup ~domain:2)
+       ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ())
+
+let e3_workload () =
+  ignore
+    (Core.Attack.search_pair (Protocols.Norep.del ~m:2) ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200
+       ~max_sends_per_sender:4 ~max_sends_per_receiver:4 ())
+
+let e4_workload () =
+  ignore
+    (Core.Bounds.measure (Protocols.Norep.del ~m:2)
+       ~xs:[ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+       ~strategy:(Kernel.Strategy.fair_random ()) ~seeds:[ 1; 2 ] ~max_steps:2_000 ())
+
+let e5_workload () =
+  let xset = Seqspace.Xset.All_upto { domain = 2; max_len = 3 } in
+  let p = Protocols.Hybrid.protocol ~xset ~domain:2 ~drop_budget:1 ~timeout:6 () in
+  ignore
+    (Kernel.Runner.run p ~input:[| 1; 0; 1 |]
+       ~strategy:(Kernel.Strategy.drop_after ~at:6 1 Kernel.Strategy.round_robin)
+       ~rng:(Stdx.Rng.create 1) ~max_steps:100_000 ())
+
+let e6_universe =
+  lazy
+    (let p = Protocols.Norep.dup ~m:2 in
+     Knowledge.Universe.of_traces
+       (List.concat_map
+          (fun input ->
+            List.map
+              (fun seed ->
+                (Kernel.Runner.run p ~input:(Array.of_list input)
+                   ~strategy:(Kernel.Strategy.fair_random ()) ~rng:(Stdx.Rng.create seed)
+                   ~max_steps:600 ~post_roll:20 ())
+                  .Kernel.Runner.trace)
+              [ 1; 2; 3 ])
+          (Seqspace.Norep.enumerate ~m:2)))
+
+let e6_workload () =
+  let u = Lazy.force e6_universe in
+  for run = 0 to 5 do
+    ignore (Knowledge.Learn.learning_times u ~run)
+  done
+
+let e7_workload () =
+  let p = Protocols.Stenning.protocol ~domain:2 ~max_len:4 in
+  ignore
+    (Kernel.Runner.run p ~input:[| 0; 1; 1; 0 |]
+       ~strategy:(Kernel.Strategy.drop_rate 0.15 (Kernel.Strategy.fair_random ()))
+       ~rng:(Stdx.Rng.create 1) ~max_steps:50_000 ())
+
+(* Kernel micro-benchmarks: the primitives everything is built from. *)
+
+let sim_step_workload =
+  let p = Protocols.Norep.dup ~m:4 in
+  fun () ->
+    ignore
+      (Kernel.Runner.run p ~input:[| 2; 0; 3; 1 |] ~strategy:Kernel.Strategy.round_robin
+         ~rng:(Stdx.Rng.create 1) ~max_steps:500 ())
+
+let alpha_workload () = ignore (Seqspace.Alpha.alpha 100)
+
+let code_build_workload () =
+  match Seqspace.Codes.build ~m:5 (Seqspace.Norep.enumerate ~m:5) with
+  | Ok _ -> ()
+  | Error _ -> assert false
+
+let e8_workload () =
+  ignore
+    (Core.Proba.estimate
+       (Protocols.Counting.resend Channel.Chan.Reorder_dup ~domain:2)
+       ~input:[ 0; 1; 1 ] ~strategy:(Kernel.Strategy.fair_random ()) ~trials:5 ~max_steps:2_000
+       ())
+
+let e9_workload () = ignore (Core.Census.run ~samples:5 ())
+
+let e10_workload () =
+  ignore
+    (Core.Attack.search_single
+       (Protocols.Stenning_mod.protocol_on
+          (Channel.Chan.Bounded_reorder { lag = 1 })
+          ~domain:2 ~header_space:2)
+       ~x:[ 0; 0; 1 ] ~depth:80 ~max_sends_per_sender:8 ~max_sends_per_receiver:8
+       ~allow_drops:false ())
+
+let e11_workload () =
+  let u = Lazy.force e6_universe in
+  let phi =
+    Knowledge.Formula.(Knows (Sender, Knows (Receiver, Knows (Sender, Fact (Output_ge 1)))))
+  in
+  let table = Knowledge.Formula.tabulate u phi in
+  ignore (table { Knowledge.Universe.run = 0; time = 0 })
+
+let e12_workload () =
+  ignore (Core.Spec.recoverability (Protocols.Abp.protocol ~domain:2) ~input:[ 0; 1 ] ())
+
+let tests =
+  Test.make_grouped ~name:"stp"
+    [
+      Test.make ~name:"e1_alpha_tightness" (Staged.stage e1_workload);
+      Test.make ~name:"e2_dup_attack" (Staged.stage e2_workload);
+      Test.make ~name:"e3_del_attack" (Staged.stage e3_workload);
+      Test.make ~name:"e4_boundedness" (Staged.stage e4_workload);
+      Test.make ~name:"e5_weak_boundedness" (Staged.stage e5_workload);
+      Test.make ~name:"e6_knowledge" (Staged.stage e6_workload);
+      Test.make ~name:"e7_throughput" (Staged.stage e7_workload);
+      Test.make ~name:"e8_probabilistic" (Staged.stage e8_workload);
+      Test.make ~name:"e9_census" (Staged.stage e9_workload);
+      Test.make ~name:"e10_crossover_cell" (Staged.stage e10_workload);
+      Test.make ~name:"e11_nested_knowledge" (Staged.stage e11_workload);
+      Test.make ~name:"e12_recoverability" (Staged.stage e12_workload);
+      Test.make ~name:"kernel_full_run" (Staged.stage sim_step_workload);
+      Test.make ~name:"alpha_100" (Staged.stage alpha_workload);
+      Test.make ~name:"mu_code_build_m5" (Staged.stage code_build_workload);
+    ]
+
+let run_micro () =
+  Format.printf "=================================================================@.";
+  Format.printf "Micro-benchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "=================================================================@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let t =
+    Stdx.Tabular.create ~title:"time per iteration"
+      [ ("benchmark", Stdx.Tabular.Left); ("time", Stdx.Tabular.Right) ]
+  in
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter (fun (name, ns) -> Stdx.Tabular.add_row t [ name; pretty ns ]) rows;
+  Stdx.Tabular.print t
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = (not (List.mem "--micro" args)) || List.mem "--tables" args in
+  let micro = (not (List.mem "--tables" args)) || List.mem "--micro" args in
+  if tables then print_tables ();
+  if micro then run_micro ()

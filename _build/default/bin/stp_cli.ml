@@ -1,0 +1,372 @@
+(* stp — command-line driver for the sequence-transmission-problem
+   reproduction (Wang & Zuck, PODC 1989).
+
+   Subcommands:
+     alpha        print the alpha(m) bound table
+     simulate     run one protocol / input / schedule and show the outcome
+     attack       run the product impossibility search on a protocol
+     knowledge    print a knowledge (t_i) timeline for a protocol instance
+     verify       batch-verify a protocol over its allowable set
+     recover      dead-state (Property 2) analysis
+     census       sample random protocols at m=1 (E9)
+     experiments  run the E1-E12 reproduction experiments *)
+
+open Cmdliner
+module Chan = Channel.Chan
+module Strategy = Kernel.Strategy
+
+(* ---------------- shared argument parsing ---------------- *)
+
+let input_conv =
+  let parse s =
+    if String.trim s = "" then Ok []
+    else
+      try Ok (List.map int_of_string (String.split_on_char ',' (String.trim s)))
+      with Failure _ -> Error (`Msg "input must be comma-separated integers, e.g. 0,2,1")
+  in
+  let print ppf xs =
+    Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int xs))
+  in
+  Arg.conv (parse, print)
+
+let channel_conv =
+  let parse s =
+    match s with
+    | "perfect" -> Ok Chan.Perfect
+    | "fifo-lossy" -> Ok Chan.Fifo_lossy
+    | "dup" -> Ok Chan.Reorder_dup
+    | "del" -> Ok Chan.Reorder_del
+    | _ -> (
+        match String.split_on_char ':' s with
+        | [ "lag"; k ] -> (
+            match int_of_string_opt k with
+            | Some lag when lag >= 0 -> Ok (Chan.Bounded_reorder { lag })
+            | Some _ | None -> Error (`Msg "lag:K needs a non-negative integer"))
+        | _ -> Error (`Msg "channel must be perfect, fifo-lossy, dup, del, or lag:K"))
+  in
+  let print ppf k = Format.pp_print_string ppf (Chan.kind_name k) in
+  Arg.conv (parse, print)
+
+let protocol_names =
+  [ "norep"; "coded"; "abp"; "stenning"; "stenning-mod"; "counting"; "counting-resend";
+    "trivial"; "ladder"; "hybrid" ]
+
+let build_protocol ~name ~channel ~domain ~max_len ~header_space ~drop_budget =
+  let xset = Seqspace.Xset.All_upto { domain; max_len } in
+  match name with
+  | "trivial" -> Ok (Protocols.Trivial.protocol ~domain)
+  | "abp" -> Ok (Protocols.Abp.protocol_on channel ~domain)
+  | "stenning" -> Ok (Protocols.Stenning.protocol_on channel ~domain ~max_len)
+  | "stenning-mod" -> Ok (Protocols.Stenning_mod.protocol_on channel ~domain ~header_space)
+  | "counting" -> Ok (Protocols.Counting.protocol_on channel ~domain)
+  | "counting-resend" -> Ok (Protocols.Counting.resend channel ~domain)
+  | "norep" ->
+      Ok (if Chan.deletes channel then Protocols.Norep.del ~m:domain else Protocols.Norep.dup ~m:domain)
+  | "coded" -> (
+      let xs = [ [] ] @ List.map (fun d -> [ d ]) (List.init domain Fun.id) in
+      match
+        if Chan.deletes channel then Protocols.Coded.del ~m:domain ~xs
+        else Protocols.Coded.dup ~m:domain ~xs
+      with
+      | Ok p -> Ok p
+      | Error e -> Error (Format.asprintf "coded: %a" Seqspace.Codes.pp_error e))
+  | "ladder" -> Ok (Protocols.Ladder.protocol ~xset ~drop_budget)
+  | "hybrid" -> Ok (Protocols.Hybrid.protocol ~xset ~domain ~drop_budget ())
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+let protocol_arg =
+  Arg.(value & opt (enum (List.map (fun n -> (n, n)) protocol_names)) "norep"
+       & info [ "p"; "protocol" ] ~doc:"Protocol to run.")
+
+let channel_arg =
+  Arg.(value & opt channel_conv Chan.Reorder_dup & info [ "c"; "channel" ] ~doc:"Channel kind.")
+
+let domain_arg =
+  Arg.(value & opt int 3 & info [ "d"; "domain" ] ~doc:"Data domain size |D| (also m for norep).")
+
+let max_len_arg = Arg.(value & opt int 4 & info [ "max-len" ] ~doc:"Maximum input length.")
+
+let header_space_arg =
+  Arg.(value & opt int 2 & info [ "header-space" ] ~doc:"Header space for stenning-mod.")
+
+let drop_budget_arg =
+  Arg.(value & opt int 1 & info [ "drop-budget" ] ~doc:"Deletion budget B for ladder/hybrid.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let max_steps_arg = Arg.(value & opt int 50_000 & info [ "max-steps" ] ~doc:"Step budget.")
+
+let strategy_arg =
+  Arg.(value & opt string "fair-random"
+       & info [ "s"; "strategy" ]
+           ~doc:"Schedule: fair-random, round-robin, newest-first, dup-flood, drop:P (e.g. \
+                 drop:0.2 over fair-random), drop-first:N.")
+
+let build_strategy s =
+  match String.split_on_char ':' s with
+  | [ "fair-random" ] -> Ok (Strategy.fair_random ())
+  | [ "round-robin" ] -> Ok Strategy.round_robin
+  | [ "newest-first" ] -> Ok Strategy.newest_first
+  | [ "dup-flood" ] -> Ok (Strategy.dup_flood ())
+  | [ "drop"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Strategy.drop_rate p (Strategy.fair_random ()))
+      | None -> Error "drop:P needs a float probability")
+  | [ "drop-first"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Strategy.drop_first n (Strategy.fair_random ()))
+      | None -> Error "drop-first:N needs an integer")
+  | _ -> Error (Printf.sprintf "unknown strategy %S" s)
+
+(* ---------------- alpha ---------------- *)
+
+let alpha_cmd =
+  let run m_max =
+    let t =
+      Stdx.Tabular.create ~title:"alpha(m) = m! * sum_{k<=m} 1/k!  (Wang & Zuck 1989)"
+        [ ("m", Stdx.Tabular.Right); ("alpha(m)", Stdx.Tabular.Right) ]
+    in
+    List.iter
+      (fun (m, a) ->
+        Stdx.Tabular.add_row t [ string_of_int m; Stdx.Bignat.to_string a ])
+      (Seqspace.Alpha.table m_max);
+    Stdx.Tabular.print t
+  in
+  let m_max = Arg.(value & opt int 20 & info [ "m" ] ~doc:"Largest m to tabulate.") in
+  Cmd.v (Cmd.info "alpha" ~doc:"Print the tight bound alpha(m).") Term.(const run $ m_max)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_run protocol channel domain max_len header_space drop_budget input strategy seed
+    max_steps verbose =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let* strat = build_strategy strategy in
+  let result =
+    Kernel.Runner.run p ~input:(Array.of_list input) ~strategy:strat
+      ~rng:(Stdx.Rng.create seed) ~max_steps ()
+  in
+  let trace = result.Kernel.Runner.trace in
+  Format.printf "%a@." Kernel.Trace.pp_summary trace;
+  Format.printf "stop: %a, output: %a@." Kernel.Runner.pp_stop result.Kernel.Runner.stop
+    Seqspace.Xset.pp_sequence
+    (Kernel.Global.output (Kernel.Trace.final trace));
+  if verbose then Format.printf "%s" (Kernel.Render.chart trace);
+  let v = Core.Verdict.of_result result in
+  Format.printf "verdict: %a@." Core.Verdict.pp v;
+  if Core.Verdict.all_good v then `Ok () else `Error (false, "run was not safe and complete")
+
+let simulate_cmd =
+  let input =
+    Arg.(value & opt input_conv [ 0; 1; 2 ] & info [ "i"; "input" ] ~doc:"Input sequence.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every move.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one protocol instance and report safety/liveness.")
+    Term.(
+      ret
+        (const simulate_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
+       $ header_space_arg $ drop_budget_arg $ input $ strategy_arg $ seed_arg $ max_steps_arg
+       $ verbose))
+
+(* ---------------- attack ---------------- *)
+
+let attack_run protocol channel domain max_len header_space drop_budget x1 x2 depth single =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let outcome =
+    if single then Core.Attack.search_single p ~x:x1 ~depth ()
+    else Core.Attack.search_pair p ~x1 ~x2 ~depth ()
+  in
+  (match outcome with
+  | Core.Attack.Witness w -> Format.printf "%a@." Core.Attack.pp_witness w
+  | Core.Attack.No_violation { closed; states_explored } ->
+      Format.printf "no violation found (%s, %d joint states)@."
+        (if closed then "state space closed — adversary provably cannot win within the move \
+                         bounds" else "search truncated")
+        states_explored);
+  `Ok ()
+
+let attack_cmd =
+  let x1 =
+    Arg.(value & opt input_conv [ 0; 1 ] & info [ "x1" ] ~doc:"First input sequence.")
+  in
+  let x2 =
+    Arg.(value & opt input_conv [ 1; 0 ] & info [ "x2" ] ~doc:"Second input sequence.")
+  in
+  let depth = Arg.(value & opt int 64 & info [ "depth" ] ~doc:"Joint search depth.") in
+  let single =
+    Arg.(value & flag & info [ "single" ] ~doc:"Single-run safety search on x1 only.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Search for an impossibility witness (the Theorem 1/2 construction, executable).")
+    Term.(
+      ret
+        (const attack_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
+       $ header_space_arg $ drop_budget_arg $ x1 $ x2 $ depth $ single))
+
+(* ---------------- knowledge ---------------- *)
+
+let knowledge_run m seeds input =
+  let xs = Seqspace.Norep.enumerate ~m in
+  let input = if input = [] then Seqspace.Norep.longest ~m else input in
+  if not (List.mem input xs) then
+    `Error (false, "input must be a repetition-free sequence over 0..m-1")
+  else begin
+    let p = Protocols.Norep.dup ~m in
+    let traces =
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun seed ->
+              (Kernel.Runner.run p ~input:(Array.of_list x)
+                 ~strategy:(Strategy.fair_random ()) ~rng:(Stdx.Rng.create seed)
+                 ~max_steps:2_000 ~post_roll:30 ())
+                .Kernel.Runner.trace)
+            (List.init seeds (fun i -> i + 1)))
+        xs
+    in
+    let u = Knowledge.Universe.of_traces traces in
+    let tarr = Knowledge.Universe.traces u in
+    Format.printf "universe: %d traces, %d points, %d receiver-view classes@."
+      (Array.length tarr) (Knowledge.Universe.n_points u) (Knowledge.Universe.n_classes u);
+    Array.iteri
+      (fun run trace ->
+        if Array.to_list (Kernel.Trace.input trace) = input && run < List.length xs * seeds then begin
+          let lt = Knowledge.Learn.learning_times u ~run in
+          let wt = Knowledge.Learn.write_times u ~run in
+          let cell = function Some t -> string_of_int t | None -> "?" in
+          Format.printf "run %d (input %a): t_i = [%s], writes = [%s]@." run
+            Seqspace.Xset.pp_sequence input
+            (String.concat "; " (Array.to_list (Array.map cell lt)))
+            (String.concat "; " (Array.to_list (Array.map cell wt)))
+        end)
+      tarr;
+    `Ok ()
+  end
+
+let knowledge_cmd =
+  let m = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Alphabet/domain size.") in
+  let seeds = Arg.(value & opt int 6 & info [ "seeds" ] ~doc:"Schedules per input.") in
+  let input =
+    Arg.(value & opt input_conv [] & info [ "i"; "input" ] ~doc:"Run to report (default 0..m-1).")
+  in
+  Cmd.v
+    (Cmd.info "knowledge" ~doc:"Compute the learning times t_i of Sec 2.3 on sampled universes.")
+    Term.(ret (const knowledge_run $ m $ seeds $ input))
+
+(* ---------------- verify ---------------- *)
+
+let verify_run protocol channel domain max_len header_space drop_budget seeds max_steps =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let xs =
+    if protocol = "norep" then Seqspace.Norep.enumerate ~m:domain
+    else Seqspace.Xset.to_list (Seqspace.Xset.All_upto { domain; max_len })
+  in
+  let spec = Core.Harness.default_spec ~max_steps ~n_seeds:seeds () in
+  let report = Core.Harness.verify p ~xs spec in
+  Format.printf "%a@." Core.Harness.pp_report report;
+  List.iteri
+    (fun i f ->
+      if i < 10 then
+        Format.printf "  failure: input %a, %s, seed %d: %a@." Seqspace.Xset.pp_sequence
+          f.Core.Harness.input f.Core.Harness.strategy_name f.Core.Harness.seed
+          Core.Verdict.pp f.Core.Harness.verdict)
+    report.Core.Harness.failures;
+  if Core.Harness.clean report then `Ok ()
+  else `Error (false, "verification found failing runs")
+
+let verify_cmd =
+  let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeds per schedule.") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Batch-verify a protocol over its whole allowable set under a schedule battery.")
+    Term.(
+      ret
+        (const verify_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
+       $ header_space_arg $ drop_budget_arg $ seeds $ max_steps_arg))
+
+(* ---------------- recover ---------------- *)
+
+let recover_run protocol channel domain max_len header_space drop_budget input =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let r = Core.Spec.recoverability p ~input () in
+  Format.printf "%a@." Core.Spec.pp_recoverability r;
+  Format.printf "recoverable: %b (Property 2's executable face — see DESIGN.md E12)@."
+    (Core.Spec.recoverable r);
+  `Ok ()
+
+let recover_cmd =
+  let input =
+    Arg.(value & opt input_conv [ 0; 1 ] & info [ "i"; "input" ] ~doc:"Input sequence.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Exhaustive dead-state analysis: can every reachable state still complete?")
+    Term.(
+      ret
+        (const recover_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
+       $ header_space_arg $ drop_budget_arg $ input))
+
+(* ---------------- census ---------------- *)
+
+let census_run samples states =
+  let control = Core.Census.control_is_clean () in
+  let r = Core.Census.run ~samples ~states () in
+  Format.printf
+    "census over %d random non-uniform protocols (m=1, |X|=3 > alpha(1)=2):@.\
+     \ \ broken directly: %d@.\ \ witnessed by attack: %d@.\ \ undecided: %d@.\
+     \ \ survivors: %d@.control protocol at the bound: %s@."
+    r.Core.Census.samples r.Core.Census.broken_directly r.Core.Census.witnessed
+    r.Core.Census.undecided r.Core.Census.survivors
+    (if control then "clean" else "BROKEN");
+  if Core.Census.ok r && control then `Ok ()
+  else `Error (false, "census found a survivor or was inconclusive")
+
+let census_cmd =
+  let samples = Arg.(value & opt int 300 & info [ "samples" ] ~doc:"Protocols to sample.") in
+  let states = Arg.(value & opt int 3 & info [ "states" ] ~doc:"Control states per process.") in
+  Cmd.v
+    (Cmd.info "census" ~doc:"Sample random protocols at m=1 and classify them (E9).")
+    Term.(ret (const census_run $ samples $ states))
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_run quick only =
+  let results = Core.Experiments.all ~quick () in
+  let results =
+    match only with
+    | [] -> results
+    | ids -> List.filter (fun r -> List.mem (String.lowercase_ascii r.Core.Experiments.id) ids || List.mem r.Core.Experiments.id ids) results
+  in
+  List.iter (fun r -> Format.printf "%a@.@." Core.Experiments.pp_result r) results;
+  if List.for_all (fun r -> r.Core.Experiments.ok) results then `Ok ()
+  else `Error (false, "some experiment shapes were violated")
+
+let experiments_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small parameters (test scale).") in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the E1-E7 reproduction experiments.")
+    Term.(ret (const experiments_run $ quick $ only))
+
+let () =
+  let doc = "Tight bounds for the sequence transmission problem (Wang & Zuck, PODC 1989)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "stp" ~doc)
+          [
+            alpha_cmd;
+            simulate_cmd;
+            attack_cmd;
+            knowledge_cmd;
+            verify_cmd;
+            recover_cmd;
+            census_cmd;
+            experiments_cmd;
+          ]))

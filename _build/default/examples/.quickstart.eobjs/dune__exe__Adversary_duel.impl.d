@@ -1,0 +1,1 @@
+examples/adversary_duel.ml: Channel Core Format List Printf Protocols Seqspace

@@ -1,0 +1,1 @@
+examples/crossover.ml: Array Channel Core Format Kernel List Protocols

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Array Char Format Kernel List Protocols Stdx String

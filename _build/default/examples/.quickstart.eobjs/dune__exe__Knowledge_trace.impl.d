@@ -1,0 +1,1 @@
+examples/knowledge_trace.ml: Array Format Fun Kernel Knowledge List Option Protocols Seqspace Stdx String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Kernel List Protocols Seqspace Stdx

@@ -1,0 +1,1 @@
+lib/channel/chan.ml: Buffer Format Int List Printf Set Stdx

@@ -1,0 +1,1 @@
+lib/channel/chan.mli: Format Stdx

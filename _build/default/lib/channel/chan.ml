@@ -1,0 +1,226 @@
+module Multiset = Stdx.Multiset
+module Deque = Stdx.Deque
+module IntSet = Set.Make (Int)
+
+type kind = Perfect | Fifo_lossy | Reorder_dup | Reorder_del | Bounded_reorder of { lag : int }
+
+let kind_name = function
+  | Perfect -> "perfect"
+  | Fifo_lossy -> "fifo-lossy"
+  | Reorder_dup -> "reorder+dup"
+  | Reorder_del -> "reorder+del"
+  | Bounded_reorder { lag } -> Printf.sprintf "reorder<=%d+del" lag
+
+let reorders = function
+  | Reorder_dup | Reorder_del -> true
+  | Bounded_reorder { lag } -> lag > 0
+  | Perfect | Fifo_lossy -> false
+
+let deletes = function
+  | Fifo_lossy | Reorder_del | Bounded_reorder _ -> true
+  | Perfect | Reorder_dup -> false
+
+let duplicates = function
+  | Reorder_dup -> true
+  | Perfect | Fifo_lossy | Reorder_del | Bounded_reorder _ -> false
+
+type body =
+  | Fifo of int Deque.t (* Perfect and Fifo_lossy *)
+  | Dup of IntSet.t (* ever-sent set *)
+  | Del of Multiset.t (* in-flight copies *)
+  | Lag of { lag : int; flight : (int * int) list }
+      (* send order, oldest first; each copy carries the number of
+         times it has already been overtaken *)
+
+type t = {
+  k : kind;
+  body : body;
+  sent : Multiset.t; (* cumulative counters, not part of the transition state *)
+  delivered : Multiset.t;
+  dropped : Multiset.t;
+}
+
+let create k =
+  let body =
+    match k with
+    | Perfect | Fifo_lossy -> Fifo Deque.empty
+    | Reorder_dup -> Dup IntSet.empty
+    | Reorder_del -> Del Multiset.empty
+    | Bounded_reorder { lag } -> Lag { lag; flight = [] }
+  in
+  { k; body; sent = Multiset.empty; delivered = Multiset.empty; dropped = Multiset.empty }
+
+let kind t = t.k
+
+let send t m =
+  let body =
+    match t.body with
+    | Fifo q -> Fifo (Deque.push_back q m)
+    | Dup s -> Dup (IntSet.add m s)
+    | Del ms -> Del (Multiset.add ms m)
+    | Lag l -> Lag { l with flight = l.flight @ [ (m, 0) ] }
+  in
+  { t with body; sent = Multiset.add t.sent m }
+
+(* Delivering (or dropping past) a copy overtakes every older copy
+   still in flight; a copy may be overtaken at most [lag] times.  So a
+   copy is reachable exactly when every strictly older copy has been
+   overtaken fewer than [lag] times — [lag = 0] degenerates to FIFO. *)
+let lag_reachable lag flight =
+  let rec go blocked acc = function
+    | [] -> List.rev acc
+    | (m, c) :: rest ->
+        let acc = if blocked then acc else (m, c) :: acc in
+        go (blocked || c >= lag) acc rest
+  in
+  go false [] flight
+
+(* Remove the first reachable copy of [x], charging one overtake to
+   every older copy left behind. *)
+let lag_take lag x flight =
+  let rec go acc = function
+    | [] -> None
+    | (m, c) :: rest ->
+        if m = x then Some (List.rev_append (List.map (fun (m', c') -> (m', c' + 1)) acc) rest)
+        else if c >= lag then None (* this copy blocks everything younger *)
+        else go ((m, c) :: acc) rest
+  in
+  go [] flight
+
+let deliverable t =
+  match t.body with
+  | Fifo q -> ( match Deque.peek_front q with Some m -> [ m ] | None -> [])
+  | Dup s -> IntSet.elements s
+  | Del ms -> Multiset.support ms
+  | Lag { lag; flight } -> List.sort_uniq Int.compare (List.map fst (lag_reachable lag flight))
+
+let can_deliver t m = List.mem m (deliverable t)
+
+let deliver t m =
+  if not (can_deliver t m) then None
+  else begin
+    let body =
+      match t.body with
+      | Fifo q -> (
+          match Deque.pop_front q with
+          | Some (_, q') -> Fifo q'
+          | None -> assert false)
+      | Dup s -> Dup s (* duplication: delivery consumes nothing *)
+      | Del ms -> (
+          match Multiset.remove ms m with Some ms' -> Del ms' | None -> assert false)
+      | Lag l -> (
+          match lag_take l.lag m l.flight with
+          | Some flight -> Lag { l with flight }
+          | None -> assert false)
+    in
+    Some { t with body; delivered = Multiset.add t.delivered m }
+  end
+
+let droppable t =
+  match (t.k, t.body) with
+  | Fifo_lossy, Fifo q -> ( match Deque.peek_front q with Some m -> [ m ] | None -> [])
+  | Reorder_del, Del ms -> Multiset.support ms
+  | Bounded_reorder _, Lag { flight; _ } ->
+      (* Deletion can strike any in-flight copy regardless of order. *)
+      List.sort_uniq Int.compare (List.map fst flight)
+  | (Perfect | Fifo_lossy | Reorder_dup | Reorder_del | Bounded_reorder _), _ -> []
+
+let drop t m =
+  if not (List.mem m (droppable t)) then None
+  else begin
+    let body =
+      match t.body with
+      | Fifo q -> (
+          match Deque.pop_front q with
+          | Some (_, q') -> Fifo q'
+          | None -> assert false)
+      | Del ms -> (
+          match Multiset.remove ms m with Some ms' -> Del ms' | None -> assert false)
+      | Lag l ->
+          (* A drop destroys the copy in place: nothing overtakes
+             anything, so no counters change. *)
+          let rec remove acc = function
+            | [] -> assert false
+            | (m', c') :: rest ->
+                if m' = m then List.rev_append acc rest else remove ((m', c') :: acc) rest
+          in
+          Lag { l with flight = remove [] l.flight }
+      | Dup _ -> assert false
+    in
+    Some { t with body; dropped = Multiset.add t.dropped m }
+  end
+
+let dlvrble t =
+  match t.body with
+  | Fifo q -> Deque.fold (fun acc m -> Multiset.add acc m) Multiset.empty q
+  | Dup s -> IntSet.fold (fun m acc -> Multiset.add acc m) s Multiset.empty
+  | Del ms -> ms
+  | Lag { flight; _ } -> Multiset.of_list (List.map fst flight)
+
+let sent_count t m = Multiset.count t.sent m
+let delivered_count t m = Multiset.count t.delivered m
+let dropped_count t m = Multiset.count t.dropped m
+
+let sent_total t = Multiset.cardinal t.sent
+let delivered_total t = Multiset.cardinal t.delivered
+let dropped_total t = Multiset.cardinal t.dropped
+
+let observed t =
+  List.sort_uniq Int.compare
+    (Multiset.support t.sent @ Multiset.support t.delivered @ Multiset.support t.dropped)
+
+let debt t =
+  match t.body with
+  | Dup _ ->
+      (* Property 1c: every send must eventually be matched by a
+         delivery of the same message; extra duplicated deliveries can
+         cover the debt. *)
+      Multiset.fold
+        (fun m n acc -> acc + max 0 (n - Multiset.count t.delivered m))
+        t.sent 0
+  | Fifo q -> Deque.length q
+  | Del ms -> Multiset.cardinal ms
+  | Lag { flight; _ } -> List.length flight
+
+let encode t =
+  match t.body with
+  | Fifo q ->
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf 'F';
+      List.iter (fun m -> Buffer.add_string buf (string_of_int m); Buffer.add_char buf ',') (Deque.to_list q);
+      Buffer.contents buf
+  | Dup s ->
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf 'U';
+      IntSet.iter (fun m -> Buffer.add_string buf (string_of_int m); Buffer.add_char buf ',') s;
+      Buffer.contents buf
+  | Del ms -> "D" ^ Multiset.encode ms
+  | Lag { flight; _ } ->
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf 'L';
+      List.iter
+        (fun (m, c) ->
+          Buffer.add_string buf (string_of_int m);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int c);
+          Buffer.add_char buf ',')
+        flight;
+      Buffer.contents buf
+
+let pp ppf t =
+  match t.body with
+  | Fifo q ->
+      Format.fprintf ppf "%s[%a]" (kind_name t.k)
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Format.pp_print_int)
+        (Deque.to_list q)
+  | Dup s ->
+      Format.fprintf ppf "%s{%a}" (kind_name t.k)
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Format.pp_print_int)
+        (IntSet.elements s)
+  | Del ms -> Format.fprintf ppf "%s%a" (kind_name t.k) Multiset.pp ms
+  | Lag { flight; _ } ->
+      Format.fprintf ppf "%s[%a]" (kind_name t.k)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           (fun ppf (m, c) -> Format.fprintf ppf "%d^%d" m c))
+        flight

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Channel Format Hashtbl Int Kernel List Printf Queue Seqspace Set Stack

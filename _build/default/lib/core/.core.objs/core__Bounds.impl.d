@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Float Fun Hashtbl Int Kernel Knowledge List Option Stdx

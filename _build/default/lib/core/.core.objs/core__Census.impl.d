@@ -1,0 +1,1 @@
+lib/core/census.ml: Array Attack Channel Harness Kernel List Stdx

@@ -1,0 +1,1 @@
+lib/core/census.mli: Kernel Stdx

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Attack Bounds Census Channel Float Format Fun Harness Int Kernel Knowledge List Printf Proba Protocols Seqspace Spec Stdx

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Format Kernel List Stdx Verdict

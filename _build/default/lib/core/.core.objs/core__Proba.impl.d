@@ -1,0 +1,1 @@
+lib/core/proba.ml: Array Float Hashtbl Int Kernel List Option Stdx

@@ -1,0 +1,1 @@
+lib/core/proba.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Channel Format Fun Hashtbl Kernel List Option Queue String

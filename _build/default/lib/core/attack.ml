@@ -1,0 +1,494 @@
+module Chan = Channel.Chan
+module Global = Kernel.Global
+module Move = Kernel.Move
+module Sim = Kernel.Sim
+module Protocol = Kernel.Protocol
+module Xset = Seqspace.Xset
+module IntSet = Set.Make (Int)
+
+type joint_move = Sync of Move.t | Only1 of Move.t | Only2 of Move.t
+
+let run_debt (g : Global.t) = Chan.debt g.Global.chan_sr + Chan.debt g.Global.chan_rs
+
+type kind = Safety of { violated_run : int } | Starvation of { starved_run : int }
+
+type witness = {
+  x1 : int list;
+  x2 : int list;
+  kind : kind;
+  joint_moves : joint_move list;
+  depth : int;
+  states_explored : int;
+}
+
+type outcome =
+  | Witness of witness
+  | No_violation of { closed : bool; states_explored : int }
+
+type node = {
+  g1 : Global.t;
+  g2 : Global.t;
+  parent : (string * joint_move) option;
+  node_depth : int;
+}
+
+let joint_key (g1 : Global.t) (g2 : Global.t) = Global.encode g1 ^ "##" ^ Global.encode g2
+
+let intersect xs ys = List.filter (fun x -> List.mem x ys) xs
+
+(* Candidate joint moves from a joint state.  Receiver-visible moves
+   are synchronised; sender-side moves act on one run. *)
+let expansions ~allow_drops ~send_cap ~recv_cap (g1 : Global.t) (g2 : Global.t) =
+  (* The receiver acts identically in both runs, so capping its sends
+     by run 1's reverse-channel total caps both. *)
+  let wake_r =
+    if Chan.sent_total g1.Global.chan_rs < recv_cap then [ Sync Move.Wake_receiver ] else []
+  in
+  let sync =
+    wake_r
+    @ List.map
+         (fun m -> Sync (Move.Deliver_to_receiver m))
+         (intersect (Chan.deliverable g1.Global.chan_sr) (Chan.deliverable g2.Global.chan_sr))
+  in
+  let side tag (g : Global.t) =
+    let wake =
+      if Chan.sent_total g.Global.chan_sr < send_cap then [ tag Move.Wake_sender ] else []
+    in
+    let acks = List.map (fun m -> tag (Move.Deliver_to_sender m)) (Chan.deliverable g.Global.chan_rs) in
+    let drops =
+      if allow_drops then
+        List.map (fun m -> tag (Move.Drop_to_receiver m)) (Chan.droppable g.Global.chan_sr)
+        @ List.map (fun m -> tag (Move.Drop_to_sender m)) (Chan.droppable g.Global.chan_rs)
+      else []
+    in
+    wake @ acks @ drops
+  in
+  sync @ side (fun m -> Only1 m) g1 @ side (fun m -> Only2 m) g2
+
+let apply_joint p (g1 : Global.t) (g2 : Global.t) = function
+  | Sync m -> (Sim.apply p g1 m, Sim.apply p g2 m)
+  | Only1 m -> (Sim.apply p g1 m, g2)
+  | Only2 m -> (g1, Sim.apply p g2 m)
+
+(* Starvation analysis over a *closed* joint graph.
+
+   A component (SCC) of the joint graph certifies starvation of run i
+   when the adversary can cycle in it forever while remaining fair to
+   run i, with the output tape — constant across any cycle — leaving
+   run i incomplete.  Fairness of the projected run i requires, within
+   the component:
+   - an [Only_i Wake_sender] edge and a [Sync Wake_receiver] edge
+     (both processes keep taking steps);
+   - on duplication channels: a [Sync (Deliver_to_receiver μ)] edge
+     for every μ the run-i forward channel holds (the set is constant
+     across the component) and an [Only_i (Deliver_to_sender μ)] edge
+     for every μ its reverse channel holds — every send keeps being
+     matched by deliveries (Property 1c);
+   - on deleting channels: a state in the component where run i's
+     channels are empty (everything sent was delivered).
+
+   Drop edges are excluded from the graph before the component
+   analysis: a fair cycle must not owe its progress to the adversary
+   eating messages, and the adversary is free never to play them. *)
+module Starved = struct
+  type comp_stats = {
+    mutable wake1 : bool;
+    mutable wake2 : bool;
+    mutable wake_r : bool;
+    mutable sync_dlv : IntSet.t;
+    mutable ack1 : IntSet.t;
+    mutable ack2 : IntSet.t;
+    mutable has_edge : bool;
+    mutable debt0_key_1 : string option; (* a state with run-1 channels empty *)
+    mutable debt0_key_2 : string option;
+    mutable rep : string;
+  }
+
+  let fresh_stats rep =
+    {
+      wake1 = false;
+      wake2 = false;
+      wake_r = false;
+      sync_dlv = IntSet.empty;
+      ack1 = IntSet.empty;
+      ack2 = IntSet.empty;
+      has_edge = false;
+      debt0_key_1 = None;
+      debt0_key_2 = None;
+      rep;
+    }
+
+  (* Iterative Tarjan SCC over an integer-indexed graph. *)
+  let tarjan n succs =
+    let index = Array.make n (-1) in
+    let lowlink = Array.make n 0 in
+    let on_stack = Array.make n false in
+    let comp = Array.make n (-1) in
+    let stack = ref [] in
+    let next_index = ref 0 in
+    let next_comp = ref 0 in
+    let strongconnect v =
+      (* Explicit work stack: (vertex, iterator position). *)
+      let work = Stack.create () in
+      Stack.push (v, 0) work;
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      while not (Stack.is_empty work) do
+        let u, i = Stack.pop work in
+        let children = succs.(u) in
+        if i < Array.length children then begin
+          Stack.push (u, i + 1) work;
+          let w = children.(i) in
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            Stack.push (w, 0) work
+          end
+          else if on_stack.(w) then lowlink.(u) <- min lowlink.(u) index.(w)
+        end
+        else begin
+          if lowlink.(u) = index.(u) then begin
+            let rec pop () =
+              match !stack with
+              | [] -> ()
+              | w :: rest ->
+                  stack := rest;
+                  on_stack.(w) <- false;
+                  comp.(w) <- !next_comp;
+                  if w <> u then pop ()
+            in
+            pop ();
+            incr next_comp
+          end;
+          match Stack.top_opt work with
+          | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+          | None -> ()
+        end
+      done
+    in
+    for v = 0 to n - 1 do
+      if index.(v) = -1 then strongconnect v
+    done;
+    (comp, !next_comp)
+
+  let find ~table_keys ~expand ~channel =
+    (* Index the states. *)
+    let keys = ref [] in
+    let globals = Hashtbl.create 1024 in
+    table_keys (fun key g1 g2 ->
+        keys := key :: !keys;
+        Hashtbl.replace globals key (g1, g2));
+    let key_arr = Array.of_list !keys in
+    let n = Array.length key_arr in
+    let idx_of = Hashtbl.create n in
+    Array.iteri (fun i k -> Hashtbl.replace idx_of k i) key_arr;
+    let is_drop = function
+      | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> true
+      | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _
+      | Move.Deliver_to_sender _ ->
+          false
+    in
+    let is_drop_jm = function Sync m | Only1 m | Only2 m -> is_drop m in
+    let edges =
+      Array.map
+        (fun k -> Array.of_list (List.filter (fun (jm, _) -> not (is_drop_jm jm)) (expand k)))
+        key_arr
+    in
+    let succs =
+      Array.map
+        (fun es ->
+          Array.of_list
+            (List.filter_map (fun (_, k') -> Hashtbl.find_opt idx_of k') (Array.to_list es)))
+        edges
+    in
+    let comp, n_comps = tarjan n succs in
+    let stats = Array.init n_comps (fun _ -> fresh_stats "") in
+    Array.iteri (fun i k -> if stats.(comp.(i)).rep = "" then stats.(comp.(i)).rep <- k) key_arr;
+    (* Intra-component edge statistics. *)
+    Array.iteri
+      (fun u es ->
+        let cu = comp.(u) in
+        Array.iter
+          (fun (jm, k') ->
+            match Hashtbl.find_opt idx_of k' with
+            | Some v when comp.(v) = cu -> begin
+                let s = stats.(cu) in
+                s.has_edge <- true;
+                match jm with
+                | Only1 Move.Wake_sender -> s.wake1 <- true
+                | Only2 Move.Wake_sender -> s.wake2 <- true
+                | Sync Move.Wake_receiver -> s.wake_r <- true
+                | Sync (Move.Deliver_to_receiver m) -> s.sync_dlv <- IntSet.add m s.sync_dlv
+                | Only1 (Move.Deliver_to_sender m) -> s.ack1 <- IntSet.add m s.ack1
+                | Only2 (Move.Deliver_to_sender m) -> s.ack2 <- IntSet.add m s.ack2
+                | _ -> ()
+              end
+            | _ -> ())
+          es)
+      edges;
+    (* Debt-free states per component (deleting channels only). *)
+    Array.iteri
+      (fun i k ->
+        let g1, g2 = Hashtbl.find globals k in
+        let s = stats.(comp.(i)) in
+        if run_debt g1 = 0 && s.debt0_key_1 = None then s.debt0_key_1 <- Some k;
+        if run_debt g2 = 0 && s.debt0_key_2 = None then s.debt0_key_2 <- Some k)
+      key_arr;
+    let dup = Chan.duplicates channel in
+    let check s which =
+      let rep_g1, rep_g2 = Hashtbl.find globals s.rep in
+      let g = if which = 1 then rep_g1 else rep_g2 in
+      let wake_i = if which = 1 then s.wake1 else s.wake2 in
+      let acks_i = if which = 1 then s.ack1 else s.ack2 in
+      let debt0_i = if which = 1 then s.debt0_key_1 else s.debt0_key_2 in
+      if (not s.has_edge) || Global.complete g || (not wake_i) || not s.wake_r then None
+      else if dup then begin
+        let fwd_ok =
+          List.for_all (fun m -> IntSet.mem m s.sync_dlv) (Chan.deliverable g.Global.chan_sr)
+        in
+        let rev_ok =
+          List.for_all (fun m -> IntSet.mem m acks_i) (Chan.deliverable g.Global.chan_rs)
+        in
+        if fwd_ok && rev_ok then Some (s.rep, which) else None
+      end
+      else begin
+        match debt0_i with Some key -> Some (key, which) | None -> None
+      end
+    in
+    let result = ref None in
+    Array.iter
+      (fun s ->
+        if !result = None then begin
+          match check s 1 with
+          | Some r -> result := Some r
+          | None -> ( match check s 2 with Some r -> result := Some r | None -> ())
+        end)
+      stats;
+    !result
+end
+
+let path_to table key =
+  let rec go key acc =
+    match (Hashtbl.find table key).parent with
+    | None -> acc
+    | Some (pkey, move) -> go pkey (move :: acc)
+  in
+  go key []
+
+let is_prefix = Xset.is_prefix
+
+let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
+    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) () =
+  let allow_drops =
+    match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
+  in
+  let table : (string, node) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let g1_0 = Global.initial p ~input:(Array.of_list x1) in
+  let g2_0 = Global.initial p ~input:(Array.of_list x2) in
+  let key0 = joint_key g1_0 g2_0 in
+  Hashtbl.replace table key0 { g1 = g1_0; g2 = g2_0; parent = None; node_depth = 0 };
+  Queue.push key0 queue;
+  let result = ref None in
+  let truncated = ref false in
+  let check_safety key (node : node) =
+    if !result = None then begin
+      if not (Global.safety_ok node.g1) then
+        result := Some (key, Safety { violated_run = 1 })
+      else if not (Global.safety_ok node.g2) then
+        result := Some (key, Safety { violated_run = 2 })
+    end
+  in
+  check_safety key0 (Hashtbl.find table key0);
+  while (not (Queue.is_empty queue)) && !result = None do
+    let key = Queue.pop queue in
+    let node = Hashtbl.find table key in
+    if node.node_depth >= depth then truncated := true
+    else
+      List.iter
+        (fun jm ->
+          if !result = None then begin
+            match apply_joint p node.g1 node.g2 jm with
+            | exception Sim.Model_violation _ -> ()
+            | g1', g2' ->
+                let key' = joint_key g1' g2' in
+                if not (Hashtbl.mem table key') then begin
+                  if Hashtbl.length table >= max_states then truncated := true
+                  else begin
+                    let node' =
+                      { g1 = g1'; g2 = g2'; parent = Some (key, jm); node_depth = node.node_depth + 1 }
+                    in
+                    Hashtbl.replace table key' node';
+                    check_safety key' node';
+                    Queue.push key' queue
+                  end
+                end
+          end)
+        (expansions ~allow_drops ~send_cap:max_sends_per_sender
+           ~recv_cap:max_sends_per_receiver node.g1 node.g2)
+  done;
+  let states_explored = Hashtbl.length table in
+  match !result with
+  | Some (key, kind) ->
+      let moves = path_to table key in
+      Witness
+        { x1; x2; kind; joint_moves = moves; depth = List.length moves; states_explored }
+  | None ->
+      let closed = not !truncated in
+      if not closed then No_violation { closed = false; states_explored }
+      else begin
+        (* The joint space is exhausted with no safety violation, so no
+           reachable joint output passes the common prefix.  Look for a
+           starvation witness: a cycle the adversary can spin forever
+           that is *fair* for one run — its sender and the receiver
+           keep being scheduled and everything it sends keeps being
+           delivered — while the (frozen) output leaves that run
+           incomplete.  Projected on that run, the lasso is a fair run
+           violating liveness. *)
+        match
+          Starved.find ~table_keys:(fun f -> Hashtbl.iter (fun k n -> f k n.g1 n.g2) table)
+            ~expand:(fun key ->
+              let node = Hashtbl.find table key in
+              List.filter_map
+                (fun jm ->
+                  match apply_joint p node.g1 node.g2 jm with
+                  | exception Sim.Model_violation _ -> None
+                  | g1', g2' -> Some (jm, joint_key g1' g2'))
+                (expansions ~allow_drops ~send_cap:max_sends_per_sender
+                   ~recv_cap:max_sends_per_receiver node.g1 node.g2))
+            ~channel:p.Protocol.channel
+        with
+        | Some (key, starved_run) ->
+            let moves = path_to table key in
+            Witness
+              {
+                x1;
+                x2;
+                kind = Starvation { starved_run };
+                joint_moves = moves;
+                depth = List.length moves;
+                states_explored;
+              }
+        | None -> No_violation { closed = true; states_explored }
+      end
+
+let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?allow_drops
+    ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) () =
+  let allow_drops =
+    match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
+  in
+  let table : (string, Global.t * (string * Move.t) option * int) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let queue = Queue.create () in
+  let g0 = Global.initial p ~input:(Array.of_list x) in
+  let key0 = Global.encode g0 in
+  Hashtbl.replace table key0 (g0, None, 0);
+  Queue.push key0 queue;
+  let result = ref None in
+  let truncated = ref false in
+  while (not (Queue.is_empty queue)) && !result = None do
+    let key = Queue.pop queue in
+    let g, _, d = Hashtbl.find table key in
+    if d >= depth then truncated := true
+    else
+      List.iter
+        (fun move ->
+          if !result = None then begin
+            let keep =
+              match move with
+              | Move.Wake_sender -> Chan.sent_total g.Global.chan_sr < max_sends_per_sender
+              | Move.Wake_receiver -> Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
+              | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
+              | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
+            in
+            if keep then begin
+              let g' = Sim.apply p g move in
+              let key' = Global.encode g' in
+              if not (Hashtbl.mem table key') then begin
+                if Hashtbl.length table >= max_states then truncated := true
+                else begin
+                  Hashtbl.replace table key' (g', Some (key, move), d + 1);
+                  if not (Global.safety_ok g') then result := Some key';
+                  Queue.push key' queue
+                end
+              end
+            end
+          end)
+        (Sim.enabled p g)
+  done;
+  let states_explored = Hashtbl.length table in
+  match !result with
+  | Some key ->
+      let rec unwind key acc =
+        match Hashtbl.find table key with
+        | _, None, _ -> acc
+        | _, Some (pkey, move), _ -> unwind pkey (Only1 move :: acc)
+      in
+      let moves = unwind key [] in
+      Witness
+        {
+          x1 = x;
+          x2 = x;
+          kind = Safety { violated_run = 1 };
+          joint_moves = moves;
+          depth = List.length moves;
+          states_explored;
+        }
+  | None -> No_violation { closed = not !truncated; states_explored }
+
+let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
+    ?max_sends_per_receiver () =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest ->
+        List.filter_map
+          (fun y -> if is_prefix x y || is_prefix y x then None else Some (x, y))
+          rest
+        @ pairs rest
+  in
+  let outcomes =
+    List.map
+      (fun (x1, x2) ->
+        ( x1,
+          x2,
+          search_pair p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
+            ?max_sends_per_receiver () ))
+      (pairs xs)
+  in
+  let first_witness =
+    List.find_map (function _, _, Witness w -> Some w | _, _, No_violation _ -> None) outcomes
+  in
+  (outcomes, first_witness)
+
+let run_moves w ~which =
+  List.filter_map
+    (fun jm ->
+      match (jm, which) with
+      | Sync m, _ -> Some m
+      | Only1 m, 1 -> Some m
+      | Only2 m, 2 -> Some m
+      | Only1 _, _ | Only2 _, _ -> None)
+    w.joint_moves
+
+let pp_joint_move ppf = function
+  | Sync m -> Format.fprintf ppf "both: %a" Move.pp m
+  | Only1 m -> Format.fprintf ppf "run1: %a" Move.pp m
+  | Only2 m -> Format.fprintf ppf "run2: %a" Move.pp m
+
+let pp_witness ppf w =
+  let kind_str =
+    match w.kind with
+    | Safety { violated_run } -> Printf.sprintf "SAFETY violation in run %d" violated_run
+    | Starvation { starved_run } -> Printf.sprintf "STARVATION of run %d" starved_run
+  in
+  Format.fprintf ppf "@[<v>%s after %d joint moves (%d states) for X1=%a X2=%a@,%a@]" kind_str
+    w.depth w.states_explored Xset.pp_sequence w.x1 Xset.pp_sequence w.x2
+    (Format.pp_print_list pp_joint_move)
+    w.joint_moves

@@ -1,0 +1,118 @@
+(** Constructive impossibility: the product attack search.
+
+    The proofs of Theorems 1 and 2 steer two runs with different
+    inputs into points the receiver cannot tell apart, then extend one
+    until the receiver commits to output the other input's data —
+    violating safety.  This module performs that construction on a
+    concrete protocol: a breadth-first search over *pairs* of
+    executions constrained so the receiver observes exactly the same
+    events in both.
+
+    - Receiver-visible moves ([Wake_receiver], [Deliver_to_receiver μ])
+      are synchronised: a delivery is jointly enabled only if [μ] is
+      deliverable in both runs.  Because the receiver is deterministic
+      and starts in the same state (Property 1a), its states — and the
+      output tape — remain identical in both runs throughout.
+    - Sender-side moves (sender wake-ups, deliveries to the sender,
+      drops) proceed independently per run, exactly as in the proofs
+      ("for each run [r'] ∈ ℛ' we can find an extension …").
+
+    A joint state where the common output violates the prefix property
+    for either input is a {b safety witness}: a concrete pair of
+    schedules under which the protocol writes wrong data.  A joint
+    graph that closes (no unexplored states) without a violation and
+    contains a fair-for-one-run cycle that cannot write past the
+    common prefix is a {b starvation witness}: the adversary can keep
+    one run's receiver ignorant forever while honouring that run's
+    fairness.  For protocols meeting the [α(m)] bound the search
+    closes with neither — the experimental face of tightness. *)
+
+type joint_move =
+  | Sync of Kernel.Move.t  (** receiver-visible; applied to both runs *)
+  | Only1 of Kernel.Move.t  (** sender-side move of run 1 *)
+  | Only2 of Kernel.Move.t
+
+type kind =
+  | Safety of { violated_run : int }
+      (** 1 or 2: whose input the common output betrayed *)
+  | Starvation of { starved_run : int }
+      (** the graph closed; this run can be scheduled fairly forever
+          while its receiver never writes past the common prefix *)
+
+type witness = {
+  x1 : int list;
+  x2 : int list;
+  kind : kind;
+  joint_moves : joint_move list;  (** path from the initial joint state *)
+  depth : int;
+  states_explored : int;
+}
+
+type outcome =
+  | Witness of witness
+  | No_violation of { closed : bool; states_explored : int }
+      (** [closed = true]: the whole joint space was exhausted —
+          a proof (for this pair and these move bounds) that the
+          adversary cannot win.  [closed = false]: search cut off by
+          the depth or state budget. *)
+
+val search_pair :
+  Kernel.Protocol.t ->
+  x1:int list ->
+  x2:int list ->
+  ?depth:int ->
+  ?max_states:int ->
+  ?allow_drops:bool ->
+  ?max_sends_per_sender:int ->
+  ?max_sends_per_receiver:int ->
+  unit ->
+  outcome
+(** [search_pair p ~x1 ~x2 ()] explores the joint system.
+    [max_sends_per_sender] (default 24) caps each sender's total
+    sends, keeping deletion-channel state spaces finite; the cap is
+    generous relative to the input lengths used by the experiments
+    and never binds on duplication channels (whose state saturates).
+    [max_sends_per_receiver] (default 24) likewise caps the
+    receiver's acknowledgement sends — necessary on deleting
+    channels, where the reverse channel's multiset would otherwise
+    grow without bound and the joint space would never close.
+    Defaults: [depth = 64], [max_states = 200_000], [allow_drops]
+    follows the protocol's channel kind. *)
+
+val search_single :
+  Kernel.Protocol.t ->
+  x:int list ->
+  ?depth:int ->
+  ?max_states:int ->
+  ?allow_drops:bool ->
+  ?max_sends_per_sender:int ->
+  ?max_sends_per_receiver:int ->
+  unit ->
+  outcome
+(** Single-run safety search: BFS over *one* run's full adversary
+    choice space for a reachable unsafe state.  Catches violations
+    that need no confuser pair — e.g. duplication making the
+    Alternating Bit receiver write a third item on a two-item input.
+    The witness's [x1 = x2 = x] and all moves are [Only1]. *)
+
+val search :
+  Kernel.Protocol.t ->
+  xs:int list list ->
+  ?depth:int ->
+  ?max_states:int ->
+  ?allow_drops:bool ->
+  ?max_sends_per_sender:int ->
+  ?max_sends_per_receiver:int ->
+  unit ->
+  (int list * int list * outcome) list * witness option
+(** Runs {!search_pair} on every unordered pair of distinct sequences
+    in [xs] where neither is a prefix of the other (prefix pairs
+    cannot produce safety witnesses — the shorter input is consistent
+    with everything the receiver sees).  Returns all per-pair
+    outcomes and the first witness found, if any. *)
+
+val run_moves : witness -> which:int -> Kernel.Move.t list
+(** Project the joint path onto one run's schedule ([which] ∈ {1,2}) —
+    a replayable script for {!Kernel.Strategy.scripted}. *)
+
+val pp_witness : Format.formatter -> witness -> unit

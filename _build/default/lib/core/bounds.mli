@@ -1,0 +1,46 @@
+(** Empirical boundedness (Definition 2 and §5).
+
+    A solution is [f]-bounded when, from any point after [t_{i−1}],
+    some extension lets the receiver learn item [i] within [f(i)]
+    steps without relying on long-lost messages.  Unbounded protocols
+    — the paper's AFWZ89 stand-in — have learning times that grow with
+    the run's history and the input's identity instead.
+
+    These functions measure the distinction on simulated runs: build a
+    mixed-input point universe (knowledge is only meaningful against
+    the other inputs the receiver must distinguish), extract learning
+    times, and aggregate the gaps [t_i − t_{i−1}].  A bounded protocol
+    shows a gap profile that is flat in the input length; an unbounded
+    one shows gaps growing with it. *)
+
+type measurement = {
+  input : int list;
+  learning_gaps : int option list;  (** [t_i − t_{i−1}] per item *)
+  max_gap : int option;  (** largest finite gap, [None] if nothing was learned *)
+  total_learning_time : int option;  (** [t_n], if every item was learned *)
+}
+
+val measure :
+  Kernel.Protocol.t ->
+  xs:int list list ->
+  strategy:Kernel.Strategy.t ->
+  seeds:int list ->
+  max_steps:int ->
+  ?post_roll:int ->
+  unit ->
+  measurement list
+(** One measurement per (input, seed): runs every input under every
+    seed, pools *all* traces into one universe (so indistinguishable
+    views across inputs properly mask knowledge), and reads learning
+    times per run.  [post_roll] (default 40) keeps recording after the
+    output completes so late knowledge still lands inside the trace. *)
+
+val gap_by_length : measurement list -> (int * Stdx.Stats.summary) list
+(** Group measurements by input length; summarise the max gap of each.
+    The E4 series: flat for bounded protocols, growing for unbounded
+    ones. *)
+
+val growth_slope : (int * float) list -> float
+(** Least-squares slope of [(x, y)] points — the single number E4/E5
+    quote to separate "flat" from "growing".  Returns 0 for fewer than
+    two distinct x values. *)

@@ -1,0 +1,145 @@
+module Proc = Kernel.Proc
+module Protocol = Kernel.Protocol
+module Event = Kernel.Event
+module Action = Kernel.Action
+module Strategy = Kernel.Strategy
+module Chan = Channel.Chan
+
+type classification = Broken_directly | Witnessed | Undecided | Survivor
+
+type report = {
+  samples : int;
+  broken_directly : int;
+  witnessed : int;
+  undecided : int;
+  survivors : int;
+}
+
+let xs = [ []; [ 0 ]; [ 1 ] ]
+
+(* Table-driven processes.  Events for both processes are Wake and
+   Deliver 0 (single-symbol alphabets); actions are drawn from small
+   per-process menus. *)
+
+type sender_cell = { s_next : int; s_send : bool }
+type receiver_cell = { r_next : int; r_write : int option; r_ack : bool }
+
+let run_sender_table table state event =
+  let row = match event with Event.Wake -> fst table.(state) | Event.Deliver _ -> snd table.(state) in
+  (row.s_next, if row.s_send then [ Action.Send 0 ] else [])
+
+let run_receiver_table table state event =
+  let row = match event with Event.Wake -> fst table.(state) | Event.Deliver _ -> snd table.(state) in
+  let actions =
+    (match row.r_write with Some d -> [ Action.Write d ] | None -> [])
+    @ (if row.r_ack then [ Action.Send 0 ] else [])
+  in
+  (row.r_next, actions)
+
+let random_sender_table rng ~states =
+  Array.init states (fun _ ->
+      let cell () = { s_next = Stdx.Rng.int rng states; s_send = Stdx.Rng.bool rng } in
+      (cell (), cell ()))
+
+let random_receiver_table rng ~states =
+  Array.init states (fun _ ->
+      let cell () =
+        {
+          r_next = Stdx.Rng.int rng states;
+          r_write = (match Stdx.Rng.int rng 3 with 0 -> None | 1 -> Some 0 | _ -> Some 1);
+          r_ack = Stdx.Rng.bool rng;
+        }
+      in
+      (cell (), cell ()))
+
+let sample_protocol rng ~states =
+  (* Non-uniform: an independent sender table per allowable input. *)
+  let sender_tables = List.map (fun x -> (x, random_sender_table rng ~states)) xs in
+  let receiver_table = random_receiver_table rng ~states in
+  {
+    Protocol.name = "census-sample";
+    sender_alphabet = 1;
+    receiver_alphabet = 1;
+    channel = Chan.Reorder_dup;
+    make_sender =
+      (fun ~input ->
+        let table =
+          match List.assoc_opt (Array.to_list input) sender_tables with
+          | Some t -> t
+          | None -> random_sender_table rng ~states
+        in
+        Proc.make ~state:0 ~step:(run_sender_table table) ());
+    make_receiver = (fun () -> Proc.make ~state:0 ~step:(run_receiver_table receiver_table) ());
+  }
+
+let battery_spec =
+  {
+    Harness.strategies = [ Strategy.fair_random (); Strategy.round_robin; Strategy.dup_flood () ];
+    seeds = [ 1; 2 ];
+    max_steps = 400;
+  }
+
+let classify p =
+  let report = Harness.verify p ~xs battery_spec in
+  if not (Harness.clean report) then Broken_directly
+  else begin
+    (* Battery passed: by Theorem 1 the adversary must still win.  The
+       only non-prefix pair in 𝒳 is (<0>, <1>). *)
+    match Attack.search_pair p ~x1:[ 0 ] ~x2:[ 1 ] ~depth:100 ~max_states:50_000 () with
+    | Attack.Witness _ -> Witnessed
+    | Attack.No_violation { closed = true; _ } -> Survivor
+    | Attack.No_violation { closed = false; _ } -> Undecided
+  end
+
+let run ~samples ?(states = 3) ?(seed = 1) () =
+  let rng = Stdx.Rng.create seed in
+  let report = ref { samples; broken_directly = 0; witnessed = 0; undecided = 0; survivors = 0 } in
+  for _ = 1 to samples do
+    let r = !report in
+    match classify (sample_protocol rng ~states) with
+    | Broken_directly -> report := { r with broken_directly = r.broken_directly + 1 }
+    | Witnessed -> report := { r with witnessed = r.witnessed + 1 }
+    | Undecided -> report := { r with undecided = r.undecided + 1 }
+    | Survivor -> report := { r with survivors = r.survivors + 1 }
+  done;
+  !report
+
+(* The at-the-bound control: 𝒳 = {⟨⟩, ⟨0⟩}, m = 1.  Sender: send the
+   single symbol iff the input is non-empty; receiver: write 0 on the
+   first delivery.  Correct over reorder+dup. *)
+let control =
+  {
+    Protocol.name = "census-control";
+    sender_alphabet = 1;
+    receiver_alphabet = 1;
+    channel = Chan.Reorder_dup;
+    make_sender =
+      (fun ~input ->
+        Proc.make ~state:false
+          ~step:(fun sent -> function
+            | Event.Wake when (not sent) && Array.length input > 0 -> (true, [ Action.Send 0 ])
+            | Event.Wake | Event.Deliver _ -> (sent, []))
+          ());
+    make_receiver =
+      (fun () ->
+        Proc.make ~state:false
+          ~step:(fun written -> function
+            | Event.Deliver _ when not written -> (true, [ Action.Write 0 ])
+            | Event.Deliver _ | Event.Wake -> (written, []))
+          ());
+  }
+
+let control_is_clean () =
+  let report = Harness.verify control ~xs:[ []; [ 0 ] ] battery_spec in
+  Harness.clean report
+  &&
+  (* No non-prefix pair exists in {⟨⟩, ⟨0⟩}; run the single-run safety
+     search on both inputs instead. *)
+  List.for_all
+    (fun x ->
+      match Attack.search_single control ~x ~depth:60 () with
+      | Attack.No_violation { closed = true; _ } -> true
+      | Attack.No_violation { closed = false; _ } | Attack.Witness _ -> false)
+    [ []; [ 0 ] ]
+
+let ok r = r.survivors = 0 && r.undecided = 0

@@ -1,0 +1,60 @@
+(** Protocol-space census: the theorems hold for *every* protocol, so
+    sample the space and watch them all fall.
+
+    E2/E3 attack a zoo of hand-written candidates.  The theorems are
+    stronger — {e no} protocol, uniform or not, solves [𝒳]-STP(dup)
+    with [|𝒳| > α(m)] — and this module probes that universality on
+    the smallest interesting slice: sender alphabet [m = 1]
+    ([α(1) = 2]), data domain [{0,1}], allowable set
+    [𝒳 = {⟨⟩, ⟨0⟩, ⟨1⟩}] of size [3 > α(1)].
+
+    A candidate is a pair of random transition tables (one sender
+    table {e per input} — the paper's non-uniform senders — and one
+    receiver table) over a bounded number of control states.  Each
+    sampled candidate is classified:
+
+    - [Broken_directly]: a fair schedule already exhibits a safety or
+      liveness failure (the fate of most random tables);
+    - [Witnessed]: the schedule battery passes but the product attack
+      search produces a safety or starvation witness;
+    - [Undecided]: the attack search was truncated (never observed at
+      the census's sizes — reported so a truncation can never
+      masquerade as a counterexample);
+    - [Survivor]: clean battery and clean closed attack — a
+      counterexample to Theorem 1.  The census's claim is that this
+      count is zero.
+
+    A hand-written control protocol at the bound ([𝒳 = {⟨⟩, ⟨0⟩}],
+    size [α(1)]) keeps the census honest: the same classifier must
+    declare it clean. *)
+
+type classification = Broken_directly | Witnessed | Undecided | Survivor
+
+type report = {
+  samples : int;
+  broken_directly : int;
+  witnessed : int;
+  undecided : int;
+  survivors : int;
+}
+
+val sample_protocol : Stdx.Rng.t -> states:int -> Kernel.Protocol.t
+(** One random table-driven candidate (non-uniform: an independent
+    sender table per allowable input) with [states] control states per
+    process, targeting the reorder+dup channel. *)
+
+val classify : Kernel.Protocol.t -> classification
+(** The battery-then-attack classifier described above, over
+    [𝒳 = {⟨⟩, ⟨0⟩, ⟨1⟩}]. *)
+
+val run : samples:int -> ?states:int -> ?seed:int -> unit -> report
+(** [run ~samples ()] samples and classifies.  [states] defaults to 3,
+    [seed] to 1. *)
+
+val control_is_clean : unit -> bool
+(** The at-the-bound control: a hand-written solution to
+    [{⟨⟩, ⟨0⟩}]-STP(dup) with [m = 1] passes the battery and closes
+    the attack search clean. *)
+
+val ok : report -> bool
+(** No survivors and nothing undecided. *)

@@ -1,0 +1,98 @@
+module Strategy = Kernel.Strategy
+module Runner = Kernel.Runner
+
+type spec = {
+  strategies : Strategy.t list;
+  seeds : int list;
+  max_steps : int;
+}
+
+let default_spec ?(max_steps = 20_000) ?(n_seeds = 5) () =
+  {
+    strategies = [ Strategy.fair_random (); Strategy.round_robin; Strategy.newest_first ];
+    seeds = List.init n_seeds (fun i -> i + 1);
+    max_steps;
+  }
+
+type failure = {
+  input : int list;
+  strategy_name : string;
+  seed : int;
+  verdict : Verdict.t;
+}
+
+type report = {
+  protocol_name : string;
+  runs : int;
+  safe_runs : int;
+  complete_runs : int;
+  audit_failures : int;
+  failures : failure list;
+  steps : Stdx.Stats.summary option;
+  messages : Stdx.Stats.summary option;
+  messages_per_item : Stdx.Stats.summary option;
+}
+
+let run_one p ~input ~strategy ~seed ~max_steps =
+  let result =
+    Runner.run p ~input:(Array.of_list input) ~strategy ~rng:(Stdx.Rng.create seed) ~max_steps ()
+  in
+  (Verdict.of_result result, (Kernel.Audit.run result.Runner.trace).Kernel.Audit.ok)
+
+let verify_one p ~input spec =
+  List.concat_map
+    (fun strategy ->
+      List.map
+        (fun seed -> fst (run_one p ~input ~strategy ~seed ~max_steps:spec.max_steps))
+        spec.seeds)
+    spec.strategies
+
+let verify (p : Kernel.Protocol.t) ~xs spec =
+  let runs = ref 0 and safe = ref 0 and complete = ref 0 and audit_bad = ref 0 in
+  let failures = ref [] in
+  let steps = ref [] and messages = ref [] and per_item = ref [] in
+  List.iter
+    (fun input ->
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun seed ->
+              let v, audit_ok = run_one p ~input ~strategy ~seed ~max_steps:spec.max_steps in
+              if not audit_ok then incr audit_bad;
+              incr runs;
+              if v.Verdict.safe then incr safe;
+              if v.Verdict.complete then incr complete;
+              if Verdict.all_good v then begin
+                steps := float_of_int v.Verdict.steps :: !steps;
+                messages := float_of_int v.Verdict.messages :: !messages;
+                let n = List.length input in
+                if n > 0 then
+                  per_item := (float_of_int v.Verdict.messages /. float_of_int n) :: !per_item
+              end
+              else
+                failures :=
+                  { input; strategy_name = strategy.Strategy.name; seed; verdict = v }
+                  :: !failures)
+            spec.seeds)
+        spec.strategies)
+    xs;
+  {
+    protocol_name = p.Kernel.Protocol.name;
+    runs = !runs;
+    safe_runs = !safe;
+    complete_runs = !complete;
+    audit_failures = !audit_bad;
+    failures = List.rev !failures;
+    steps = Stdx.Stats.summarize !steps;
+    messages = Stdx.Stats.summarize !messages;
+    messages_per_item = Stdx.Stats.summarize !per_item;
+  }
+
+let clean r = r.failures = [] && r.audit_failures = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %d runs, %d safe, %d complete, %d failures" r.protocol_name r.runs
+    r.safe_runs r.complete_runs (List.length r.failures);
+  match r.messages_per_item with
+  | Some s -> Format.fprintf ppf " (msgs/item mean %.1f)" s.Stdx.Stats.mean
+  | None -> ()

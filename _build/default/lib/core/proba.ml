@@ -1,0 +1,71 @@
+module Runner = Kernel.Runner
+module Trace = Kernel.Trace
+
+type estimate = {
+  trials : int;
+  safety_failures : int;
+  liveness_failures : int;
+  p_fail : float;
+  p_safety : float;
+  wilson_upper : float;
+}
+
+let wilson_upper ~failures ~trials =
+  if trials = 0 then 1.0
+  else begin
+    let z = 1.96 in
+    let n = float_of_int trials in
+    let p = float_of_int failures /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let margin = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+    Float.min 1.0 ((centre +. margin) /. denom)
+  end
+
+let of_counts ~trials ~safety_failures ~liveness_failures =
+  let failures = safety_failures + liveness_failures in
+  {
+    trials;
+    safety_failures;
+    liveness_failures;
+    p_fail = (if trials = 0 then 0.0 else float_of_int failures /. float_of_int trials);
+    p_safety = (if trials = 0 then 0.0 else float_of_int safety_failures /. float_of_int trials);
+    wilson_upper = wilson_upper ~failures ~trials;
+  }
+
+let estimate p ~input ~strategy ~trials ~max_steps ?(seed = 1) ?(post_roll = 25) () =
+  let safety = ref 0 and liveness = ref 0 in
+  for i = 0 to trials - 1 do
+    let r =
+      (* The post-roll keeps the run alive past completion: stale
+         deliveries that overshoot the output tape are failures too,
+         and stopping at the first complete state would hide them. *)
+      Runner.run p ~input:(Array.of_list input) ~strategy
+        ~rng:(Stdx.Rng.create (seed + (i * 7919)))
+        ~max_steps ~post_roll ()
+    in
+    let trace = r.Runner.trace in
+    if Trace.first_safety_violation trace <> None then incr safety
+    else if Trace.completed_at trace = None then incr liveness
+  done;
+  of_counts ~trials ~safety_failures:!safety ~liveness_failures:!liveness
+
+let failure_by_length p ~inputs ~strategy ~trials ~max_steps ?(seed = 1) ?post_roll () =
+  let by_len = Hashtbl.create 8 in
+  List.iter
+    (fun input ->
+      let e = estimate p ~input ~strategy ~trials ~max_steps ~seed ?post_roll () in
+      let len = List.length input in
+      let acc =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt by_len len)
+      in
+      let t, s, l = acc in
+      Hashtbl.replace by_len len
+        (t + e.trials, s + e.safety_failures, l + e.liveness_failures))
+    inputs;
+  Hashtbl.fold
+    (fun len (t, s, l) acc ->
+      (len, of_counts ~trials:t ~safety_failures:s ~liveness_failures:l) :: acc)
+    by_len []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,63 @@
+(** Probabilistic [𝒳]-STP — the paper's §6 future work, made
+    executable.
+
+    §6: "it is conceivable that we sometimes can be satisfied with
+    'solutions' to [𝒳]-STP with [|𝒳| > α(m)] that, although having
+    the *possibility* of failure, present an acceptably low
+    *probability* of failure."  The paper notes the deterministic
+    framework cannot express this; here we bolt a probabilistic
+    environment onto the same simulator and measure: under a random
+    (rather than adversarial) schedule, how often do the over-bound
+    protocols actually fail?
+
+    The answer the experiments (E8) show: the failure probability of
+    the naive protocols is far from negligible and grows quickly with
+    the input length — random reordering finds the bad interleavings
+    all by itself — while protocols at the bound fail with probability
+    exactly 0 (their failure set is empty, not just unlikely).  So the
+    §6 relaxation does not rescue the simple candidates; a real
+    probabilistic solution would need protocol-side randomness, which
+    the paper leaves (and we leave) open. *)
+
+type estimate = {
+  trials : int;
+  safety_failures : int;  (** runs that wrote wrong data *)
+  liveness_failures : int;  (** runs that did not complete in budget *)
+  p_fail : float;  (** (safety + liveness failures) / trials *)
+  p_safety : float;  (** safety failures / trials *)
+  wilson_upper : float;
+      (** 95% Wilson upper bound on the failure probability — the
+          honest claim when zero failures are observed *)
+}
+
+val estimate :
+  Kernel.Protocol.t ->
+  input:int list ->
+  strategy:Kernel.Strategy.t ->
+  trials:int ->
+  max_steps:int ->
+  ?seed:int ->
+  ?post_roll:int ->
+  unit ->
+  estimate
+(** Monte-Carlo over independent seeded schedules.  [post_roll]
+    (default 25) keeps each run alive past completion so overshoot
+    violations (stale deliveries writing past the end of the input)
+    are counted. *)
+
+val failure_by_length :
+  Kernel.Protocol.t ->
+  inputs:int list list ->
+  strategy:Kernel.Strategy.t ->
+  trials:int ->
+  max_steps:int ->
+  ?seed:int ->
+  ?post_roll:int ->
+  unit ->
+  (int * estimate) list
+(** Group the inputs by length and pool the per-length estimates —
+    the E8 series. *)
+
+val wilson_upper : failures:int -> trials:int -> float
+(** 95% (z = 1.96) Wilson score upper bound for a binomial
+    proportion. *)

@@ -1,0 +1,139 @@
+module Chan = Channel.Chan
+module Global = Kernel.Global
+module Move = Kernel.Move
+module Sim = Kernel.Sim
+module Proc = Kernel.Proc
+module Protocol = Kernel.Protocol
+
+type recoverability = {
+  states : int;
+  completed : int;
+  dead : int;
+  frontier : int;
+  closed : bool;
+}
+
+let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
+    ?(max_sends_per_sender = 12) ?(max_sends_per_receiver = 12) ?allow_drops () =
+  let allow_drops =
+    match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
+  in
+  let keep (g : Global.t) = function
+    | Move.Wake_sender -> Chan.sent_total g.Global.chan_sr < max_sends_per_sender
+    | Move.Wake_receiver -> Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
+    | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
+    | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
+  in
+  (* Forward exploration, remembering each state's successors.  The
+     send caps keep deleting channels finite but also hide behaviours
+     (a retransmitting sender is not really out of copies), so states
+     where the cap filtered a move are marked capped: they and their
+     ancestors must not be declared dead. *)
+  let nodes :
+      (string, Global.t * string list * bool (* fully expanded *) * bool (* capped *)) Hashtbl.t
+      =
+    Hashtbl.create 4096
+  in
+  let queue = Queue.create () in
+  let g0 = Global.initial p ~input:(Array.of_list input) in
+  let key0 = Global.encode g0 in
+  Hashtbl.replace nodes key0 (g0, [], false, false);
+  Queue.push (key0, 0) queue;
+  let truncated = ref false in
+  while not (Queue.is_empty queue) do
+    let key, d = Queue.pop queue in
+    let g, _, _, _ = Hashtbl.find nodes key in
+    if d >= depth then truncated := true
+    else begin
+      let capped = ref false in
+      let succs =
+        List.filter_map
+          (fun move ->
+            if not (keep g move) then begin
+              capped := true;
+              None
+            end
+            else begin
+              let g' = Sim.apply p g move in
+              let key' = Global.encode g' in
+              if not (Hashtbl.mem nodes key') then begin
+                if Hashtbl.length nodes >= max_states then begin
+                  truncated := true;
+                  None
+                end
+                else begin
+                  Hashtbl.replace nodes key' (g', [], false, false);
+                  Queue.push (key', d + 1) queue;
+                  Some key'
+                end
+              end
+              else Some key'
+            end)
+          (Sim.enabled p g)
+      in
+      let _, _, _, was_capped = Hashtbl.find nodes key in
+      Hashtbl.replace nodes key (g, succs, true, was_capped || !capped)
+    end
+  done;
+  (* Backward marking over reversed edges: which states can still
+     complete, and which are tainted by a cap (they, or something they
+     can reach, had behaviour hidden by the budget). *)
+  let preds : (string, string list) Hashtbl.t = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun key (_, succs, _, _) ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds s (key :: Option.value ~default:[] (Hashtbl.find_opt preds s)))
+        succs)
+    nodes;
+  let mark seed_of =
+    let marked = Hashtbl.create 4096 in
+    let q = Queue.create () in
+    Hashtbl.iter
+      (fun key node ->
+        if seed_of key node then begin
+          Hashtbl.replace marked key ();
+          Queue.push key q
+        end)
+      nodes;
+    while not (Queue.is_empty q) do
+      let key = Queue.pop q in
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem marked p) then begin
+            Hashtbl.replace marked p ();
+            Queue.push p q
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt preds key))
+    done;
+    marked
+  in
+  let can_complete = mark (fun _ (g, _, _, _) -> Global.complete g) in
+  let tainted = mark (fun _ (_, _, expanded, capped) -> capped || not expanded) in
+  let completed = ref 0 and dead = ref 0 and frontier = ref 0 in
+  Hashtbl.iter
+    (fun key (g, _, expanded, _) ->
+      if Global.complete g then incr completed;
+      if not expanded then incr frontier
+      else if (not (Hashtbl.mem can_complete key)) && not (Hashtbl.mem tainted key) then
+        incr dead)
+    nodes;
+  {
+    states = Hashtbl.length nodes;
+    completed = !completed;
+    dead = !dead;
+    frontier = !frontier;
+    closed = not !truncated;
+  }
+
+let recoverable r = r.closed && r.dead = 0 && r.completed > 0
+
+let receiver_deterministic (p : Protocol.t) ~trials =
+  let fingerprint () = Proc.encode (p.Protocol.make_receiver ()) in
+  let base = fingerprint () in
+  List.for_all (fun _ -> String.equal (fingerprint ()) base) (List.init (max 0 (trials - 1)) Fun.id)
+
+let pp_recoverability ppf r =
+  Format.fprintf ppf "%d states (%d completed, %d dead, %d frontier, %s)" r.states r.completed
+    r.dead r.frontier
+    (if r.closed then "closed" else "truncated")

@@ -1,0 +1,33 @@
+module Runner = Kernel.Runner
+module Trace = Kernel.Trace
+
+type t = {
+  safe : bool;
+  complete : bool;
+  deadlocked : bool;
+  steps : int;
+  messages : int;
+  first_violation : int option;
+  completed_at : int option;
+}
+
+let of_result (r : Runner.result) =
+  let trace = r.Runner.trace in
+  let violation = Trace.first_safety_violation trace in
+  {
+    safe = Option.is_none violation;
+    complete = Option.is_some (Trace.completed_at trace);
+    deadlocked = (r.Runner.stop = Runner.Quiescent);
+    steps = r.Runner.steps;
+    messages = Trace.messages_sent trace;
+    first_violation = violation;
+    completed_at = Trace.completed_at trace;
+  }
+
+let all_good t = t.safe && t.complete
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s steps=%d msgs=%d"
+    (if t.safe then "safe" else "UNSAFE")
+    (if t.complete then ",complete" else if t.deadlocked then ",DEADLOCK" else ",incomplete")
+    t.steps t.messages

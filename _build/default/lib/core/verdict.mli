@@ -1,0 +1,24 @@
+(** Per-run verdicts against the STP specification (§2.1/§2.4).
+
+    Safety: at every point of the run, [Y] is a prefix of [X].
+    Liveness (relative to the schedule actually played): every data
+    item was written before the run ended.  A truncated-but-safe run
+    that simply ran out of budget is reported as such, distinct from a
+    quiescent deadlock. *)
+
+type t = {
+  safe : bool;  (** no point violated the prefix property *)
+  complete : bool;  (** [|Y| = |X|] at the end *)
+  deadlocked : bool;  (** the run stopped because nothing could ever change *)
+  steps : int;
+  messages : int;  (** total sends on both channels *)
+  first_violation : int option;  (** earliest unsafe time, if any *)
+  completed_at : int option;
+}
+
+val of_result : Kernel.Runner.result -> t
+
+val all_good : t -> bool
+(** Safe and complete. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kernel/action.mli: Format

@@ -1,0 +1,1 @@
+lib/kernel/audit.ml: Channel Format Global List Stdx Trace

@@ -1,0 +1,1 @@
+lib/kernel/explore.ml: Channel Global Hashtbl List Move Queue Sim Trace

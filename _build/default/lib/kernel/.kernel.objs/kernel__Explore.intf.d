@@ -1,0 +1,1 @@
+lib/kernel/explore.mli: Global Move Protocol Trace

@@ -1,0 +1,1 @@
+lib/kernel/global.ml: Array Channel Hist List Proc Protocol String

@@ -1,0 +1,1 @@
+lib/kernel/global.mli: Channel Hist Proc Protocol

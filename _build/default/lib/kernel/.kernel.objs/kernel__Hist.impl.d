@@ -1,0 +1,1 @@
+lib/kernel/hist.ml: Action Buffer Event Format List

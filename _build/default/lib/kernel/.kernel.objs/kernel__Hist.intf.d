@@ -1,0 +1,1 @@
+lib/kernel/hist.mli: Action Event Format

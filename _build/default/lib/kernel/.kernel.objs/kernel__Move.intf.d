@@ -1,0 +1,1 @@
+lib/kernel/move.mli: Format

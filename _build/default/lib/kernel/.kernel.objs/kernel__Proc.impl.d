@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Action Event Marshal

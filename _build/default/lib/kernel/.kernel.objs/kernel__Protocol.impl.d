@@ -1,0 +1,1 @@
+lib/kernel/protocol.ml: Action Channel Printf Proc

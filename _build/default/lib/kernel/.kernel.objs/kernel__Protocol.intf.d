@@ -1,0 +1,1 @@
+lib/kernel/protocol.mli: Action Channel Proc

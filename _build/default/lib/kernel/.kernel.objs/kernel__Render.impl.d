@@ -1,0 +1,1 @@
+lib/kernel/render.ml: Array Buffer List Move Printf Protocol Sim String Trace

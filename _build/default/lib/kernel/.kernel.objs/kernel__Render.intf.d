@@ -1,0 +1,1 @@
+lib/kernel/render.mli: Move Protocol Trace

@@ -1,0 +1,1 @@
+lib/kernel/runner.ml: Format Global List Sim Stdx Strategy Trace

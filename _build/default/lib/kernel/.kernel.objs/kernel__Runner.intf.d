@@ -1,0 +1,1 @@
+lib/kernel/runner.mli: Format Protocol Stdx Strategy Trace

@@ -1,0 +1,1 @@
+lib/kernel/sim.ml: Action Channel Event Global Hist List Move Printf Proc Protocol String

@@ -1,0 +1,1 @@
+lib/kernel/sim.mli: Global Move Protocol

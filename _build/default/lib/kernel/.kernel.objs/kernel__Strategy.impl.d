@@ -1,0 +1,1 @@
+lib/kernel/strategy.ml: Array Channel Global Int List Move Printf Protocol Stdx

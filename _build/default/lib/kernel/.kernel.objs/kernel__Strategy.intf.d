@@ -1,0 +1,1 @@
+lib/kernel/strategy.mli: Global Move Protocol Stdx

@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Array Channel Format Global Hist List Move Printf Protocol

@@ -1,0 +1,1 @@
+lib/kernel/trace.mli: Format Global Hist Move Protocol

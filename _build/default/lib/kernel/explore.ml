@@ -1,0 +1,100 @@
+module Chan = Channel.Chan
+
+type stats = {
+  states : int;
+  transitions : int;
+  safety_violations : int;
+  complete_states : int;
+}
+
+let all_moves _g _m = true
+
+let reachable p ~input ~depth ?(move_filter = all_moves) () =
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let g0 = Global.initial p ~input in
+  Hashtbl.replace seen (Global.encode g0) ();
+  Queue.push (g0, 0) queue;
+  let transitions = ref 0 in
+  let violations = ref 0 in
+  let completes = ref 0 in
+  if not (Global.safety_ok g0) then incr violations;
+  if Global.complete g0 then incr completes;
+  while not (Queue.is_empty queue) do
+    let g, d = Queue.pop queue in
+    if d < depth then
+      List.iter
+        (fun move ->
+          if move_filter g move then begin
+            incr transitions;
+            let g' = Sim.apply p g move in
+            let key = Global.encode g' in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              if not (Global.safety_ok g') then incr violations;
+              if Global.complete g' then incr completes;
+              Queue.push (g', d + 1) queue
+            end
+          end)
+        (Sim.enabled p g)
+  done;
+  {
+    states = Hashtbl.length seen;
+    transitions = !transitions;
+    safety_violations = !violations;
+    complete_states = !completes;
+  }
+
+exception Enough
+
+let iter_runs p ~input ~depth ?(move_filter = all_moves) ?max_runs f =
+  let emitted = ref 0 in
+  let emit builder =
+    f (Trace.finish builder);
+    incr emitted;
+    match max_runs with Some m when !emitted >= m -> raise Enough | _ -> ()
+  in
+  (* DFS; the trace builder is mutable, so we rebuild along the path by
+     replaying prefixes: instead we carry the path of moves and rebuild
+     only on emit, keeping the hot loop allocation-light. *)
+  let rec go g d path =
+    let stop_here =
+      d >= depth || (Global.complete g && Sim.wake_only_complete p g)
+    in
+    if stop_here then begin
+      let builder = Trace.start p ~input in
+      List.iter
+        (fun m ->
+          let g' = Sim.apply p (Trace.current builder) m in
+          Trace.record builder m g')
+        (List.rev path);
+      emit builder
+    end
+    else begin
+      let moves = List.filter (move_filter g) (Sim.enabled p g) in
+      match moves with
+      | [] ->
+          let builder = Trace.start p ~input in
+          List.iter
+            (fun m ->
+              let g' = Sim.apply p (Trace.current builder) m in
+              Trace.record builder m g')
+            (List.rev path);
+          emit builder
+      | _ -> List.iter (fun m -> go (Sim.apply p g m) (d + 1) (m :: path)) moves
+    end
+  in
+  try go (Global.initial p ~input) 0 [] with Enough -> ()
+
+let no_drops _g = function
+  | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> false
+  | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _
+    ->
+      true
+
+let bounded_flight k (g : Global.t) = function
+  | Move.Wake_sender -> Chan.debt g.Global.chan_sr < k
+  | Move.Wake_receiver -> Chan.debt g.Global.chan_rs < k
+  | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ | Move.Drop_to_receiver _
+  | Move.Drop_to_sender _ ->
+      true

@@ -1,0 +1,50 @@
+(** Exhaustive exploration of the run space.
+
+    For small instances the entire truncated system — every adversary
+    choice at every step, up to a depth bound — can be enumerated.
+    [reachable] computes the reachable global-state graph with
+    memoisation (channel states saturate on reorder+dup channels, so
+    this converges quickly); [iter_runs] enumerates complete move
+    sequences, which the knowledge layer turns into an *exact* point
+    universe for the truncated system. *)
+
+type stats = {
+  states : int;  (** distinct reachable states (by {!Global.encode}) *)
+  transitions : int;
+  safety_violations : int;  (** reachable states violating Safety *)
+  complete_states : int;  (** reachable states with [Y = X] *)
+}
+
+val reachable :
+  Protocol.t ->
+  input:int array ->
+  depth:int ->
+  ?move_filter:(Global.t -> Move.t -> bool) ->
+  unit ->
+  stats
+(** BFS over distinct states to the given depth. *)
+
+val iter_runs :
+  Protocol.t ->
+  input:int array ->
+  depth:int ->
+  ?move_filter:(Global.t -> Move.t -> bool) ->
+  ?max_runs:int ->
+  (Trace.t -> unit) ->
+  unit
+(** DFS enumerating every move sequence of length exactly [depth]
+    (runs that complete and quiesce earlier are emitted at their
+    natural length).  [move_filter] prunes adversary choices — e.g.
+    forbidding drops recovers the no-deletion subsystem.  Stops after
+    [max_runs] traces when given (a safety valve: the run count is
+    exponential in [depth]). *)
+
+val no_drops : Global.t -> Move.t -> bool
+(** The filter excluding deletion moves. *)
+
+val bounded_flight : int -> Global.t -> Move.t -> bool
+(** [bounded_flight k] refuses wake moves that would be taken while a
+    process already has [k] undelivered messages in flight towards its
+    peer — a standard partial-order-style reduction that keeps the
+    branching of exhaustive runs manageable without hiding any
+    receiver-observable behaviour for the protocols studied here. *)

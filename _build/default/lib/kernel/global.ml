@@ -1,0 +1,53 @@
+module Chan = Channel.Chan
+
+type t = {
+  input : int array;
+  sender : Proc.t;
+  receiver : Proc.t;
+  s_hist : Hist.t;
+  r_hist : Hist.t;
+  chan_sr : Chan.t;
+  chan_rs : Chan.t;
+  output_rev : int list;
+  time : int;
+}
+
+let initial (p : Protocol.t) ~input =
+  {
+    input;
+    sender = p.Protocol.make_sender ~input;
+    receiver = p.Protocol.make_receiver ();
+    s_hist = Hist.empty;
+    r_hist = Hist.empty;
+    chan_sr = Chan.create p.Protocol.channel;
+    chan_rs = Chan.create p.Protocol.channel;
+    output_rev = [];
+    time = 0;
+  }
+
+let output t = List.rev t.output_rev
+
+let output_length t = List.length t.output_rev
+
+let safety_ok t =
+  let n = Array.length t.input in
+  let rec check i = function
+    | [] -> true
+    | d :: older -> i < n && t.input.(i) = d && check (i - 1) older
+  in
+  (* output_rev is newest first: the newest item sits at index |Y|−1. *)
+  check (List.length t.output_rev - 1) t.output_rev
+
+let complete t = output_length t = Array.length t.input
+
+let encode t =
+  String.concat "|"
+    [
+      Proc.encode t.sender;
+      Proc.encode t.receiver;
+      Chan.encode t.chan_sr;
+      Chan.encode t.chan_rs;
+      string_of_int (output_length t);
+    ]
+
+let encode_with_r_view t = encode t ^ "|" ^ Hist.encode t.r_hist

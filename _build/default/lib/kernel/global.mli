@@ -1,0 +1,46 @@
+(** Global states [(s_E, s_S, s_R)] of §2.2.
+
+    The environment component [s_E] is the input tape, the output tape,
+    and the two channel states; [s_S] and [s_R] are the process states
+    together with their kernel-recorded complete histories.  Global
+    states are persistent: the simulator, explorer, and attack search
+    all branch over them. *)
+
+type t = {
+  input : int array;  (** the input tape [X], fixed for the run *)
+  sender : Proc.t;
+  receiver : Proc.t;
+  s_hist : Hist.t;  (** sender's complete local history *)
+  r_hist : Hist.t;  (** receiver's complete local history *)
+  chan_sr : Channel.Chan.t;  (** sender → receiver channel *)
+  chan_rs : Channel.Chan.t;  (** receiver → sender channel *)
+  output_rev : int list;  (** the output tape [Y], newest first *)
+  time : int;  (** number of moves taken from the initial state *)
+}
+
+val initial : Protocol.t -> input:int array -> t
+(** The initial global state [𝒢₀] for this protocol and input: both
+    channels empty, fresh processes, empty histories and output. *)
+
+val output : t -> int list
+(** The output tape [Y], oldest first. *)
+
+val output_length : t -> int
+
+val safety_ok : t -> bool
+(** Whether [Y] is currently a prefix of [X] — the Safety condition. *)
+
+val complete : t -> bool
+(** Whether [|Y| = |X|]: every data item has been written. *)
+
+val encode : t -> string
+(** Canonical fingerprint of the *transition-relevant* part of the
+    state (process states, channel contents, output length).
+    Histories and cumulative counters are excluded: two states with
+    equal encodings generate identical future behaviours.  Used by the
+    explorer's memo table. *)
+
+val encode_with_r_view : t -> string
+(** Like {!encode} but additionally distinguishes receiver views —
+    used by searches that must not merge states the receiver can tell
+    apart. *)

@@ -1,0 +1,34 @@
+type t =
+  | Wake_sender
+  | Wake_receiver
+  | Deliver_to_receiver of int
+  | Deliver_to_sender of int
+  | Drop_to_receiver of int
+  | Drop_to_sender of int
+
+let is_receiver_visible = function
+  | Wake_receiver | Deliver_to_receiver _ -> true
+  | Wake_sender | Deliver_to_sender _ | Drop_to_receiver _ | Drop_to_sender _ -> false
+
+let pp ppf = function
+  | Wake_sender -> Format.pp_print_string ppf "wake S"
+  | Wake_receiver -> Format.pp_print_string ppf "wake R"
+  | Deliver_to_receiver m -> Format.fprintf ppf "deliver %d to R" m
+  | Deliver_to_sender m -> Format.fprintf ppf "deliver %d to S" m
+  | Drop_to_receiver m -> Format.fprintf ppf "drop %d (to R)" m
+  | Drop_to_sender m -> Format.fprintf ppf "drop %d (to S)" m
+
+let equal a b =
+  match (a, b) with
+  | Wake_sender, Wake_sender | Wake_receiver, Wake_receiver -> true
+  | Deliver_to_receiver m, Deliver_to_receiver n
+  | Deliver_to_sender m, Deliver_to_sender n
+  | Drop_to_receiver m, Drop_to_receiver n
+  | Drop_to_sender m, Drop_to_sender n ->
+      m = n
+  | ( ( Wake_sender | Wake_receiver | Deliver_to_receiver _ | Deliver_to_sender _
+      | Drop_to_receiver _ | Drop_to_sender _ ),
+      _ ) ->
+      false
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,24 @@
+(** Scheduler/environment moves.
+
+    Each transition of the global system is one move, chosen by the
+    environment (the adversary): wake a process, deliver a deliverable
+    message to a process, or — on deleting channels — drop an in-flight
+    copy.  This is the paper's implicit environment protocol made
+    explicit. *)
+
+type t =
+  | Wake_sender
+  | Wake_receiver
+  | Deliver_to_receiver of int  (** deliver a copy of this S-message *)
+  | Deliver_to_sender of int  (** deliver a copy of this R-message *)
+  | Drop_to_receiver of int  (** delete an in-flight S-message copy *)
+  | Drop_to_sender of int
+
+val is_receiver_visible : t -> bool
+(** Moves the receiver can observe (its wake-ups and deliveries to
+    it).  The product attack search synchronises exactly these across
+    the two runs it steers. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,17 @@
+type t =
+  | Proc : {
+      state : 's;
+      step : 's -> Event.t -> 's * Action.t list;
+      encode : 's -> string;
+    }
+      -> t
+
+let default_encode s = Marshal.to_string s []
+
+let make ?(encode = default_encode) ~state ~step () = Proc { state; step; encode }
+
+let step (Proc p) event =
+  let state, actions = p.step p.state event in
+  (Proc { p with state }, actions)
+
+let encode (Proc p) = p.encode p.state

@@ -1,0 +1,26 @@
+(** Processes as pure step functions over hidden state.
+
+    A process is a deterministic state machine: given an event it
+    produces a new state and a batch of actions.  The state type is
+    existentially hidden so the simulator can drive any protocol
+    uniformly; an [encode] function exposes a canonical fingerprint of
+    the state for the explorer's memo tables (protocol states must be
+    pure marshalable data — no closures inside states). *)
+
+type t
+
+val make :
+  ?encode:('s -> string) ->
+  state:'s ->
+  step:('s -> Event.t -> 's * Action.t list) ->
+  unit ->
+  t
+(** [make ~state ~step ()] wraps a state machine.  The default
+    [encode] marshals the state, which is correct for any pure-data
+    state type. *)
+
+val step : t -> Event.t -> t * Action.t list
+(** Advance the machine by one event. *)
+
+val encode : t -> string
+(** Canonical fingerprint of the current state. *)

@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  sender_alphabet : int;
+  receiver_alphabet : int;
+  channel : Channel.Chan.kind;
+  make_sender : input:int array -> Proc.t;
+  make_receiver : unit -> Proc.t;
+}
+
+let validate_action ~is_sender ~alphabet action =
+  match action with
+  | Action.Write _ when is_sender -> Error "sender attempted to write the output tape"
+  | Action.Write _ -> Ok ()
+  | Action.Send m ->
+      if m < 0 || m >= alphabet then
+        Error
+          (Printf.sprintf "message symbol %d outside declared alphabet of size %d" m alphabet)
+      else Ok ()

@@ -1,0 +1,28 @@
+(** Protocol descriptors: a solution candidate for [𝒳]-STP.
+
+    A protocol is the pair [(P_S, P_R)] of §2.1 plus the metadata the
+    harness and the impossibility machinery need: the finite alphabet
+    sizes [|M^S|] and [|M^R|] and the channel semantics the protocol
+    is designed for.
+
+    Senders receive the whole input tape at construction time.  This
+    is the paper's *non-uniform* convention (footnote 2: the sender's
+    protocol may have all of [X] built into its code); uniform
+    protocols simply consume the array left to right.  Receivers start
+    in a state independent of the input (Property 1a). *)
+
+type t = {
+  name : string;
+  sender_alphabet : int;  (** [|M^S|]: sender messages are in [\[0, sender_alphabet)] *)
+  receiver_alphabet : int;  (** [|M^R|] *)
+  channel : Channel.Chan.kind;  (** the channel semantics the protocol targets *)
+  make_sender : input:int array -> Proc.t;
+  make_receiver : unit -> Proc.t;
+}
+
+val validate_action : is_sender:bool -> alphabet:int -> Action.t -> (unit, string) result
+(** Checks an emitted action against the model: senders never [Write];
+    message symbols stay inside the declared finite alphabet.  The
+    simulator applies this to every action and fails loudly on
+    violation — a protocol that leaves its declared alphabet would
+    void the theorems being tested. *)

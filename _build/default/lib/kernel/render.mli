@@ -1,0 +1,20 @@
+(** Plain-text rendering of traces as message-sequence charts.
+
+    One line per move, three columns: the sender's lane, the channel,
+    the receiver's lane.  Deliveries are drawn as arrows from the
+    sending side's past; the output tape grows on the right margin.
+    Used by the CLI's verbose mode and the examples — and invaluable
+    when reading an attack witness, which is just a trace once
+    projected onto one run. *)
+
+val chart : Trace.t -> string
+(** The full chart. *)
+
+val chart_window : Trace.t -> from:int -> upto:int -> string
+(** [chart_window t ~from ~upto] renders moves [from..upto-1] only
+    (clamped to the trace). *)
+
+val moves_of_witness_run :
+  Protocol.t -> input:int array -> moves:Move.t list -> Trace.t
+(** Replay a move script into a trace (for rendering attack
+    witnesses).  Stops at the first disabled move. *)

@@ -1,0 +1,43 @@
+type stop_reason = Completed | Quiescent | Budget | Strategy_end
+
+type result = { trace : Trace.t; stop : stop_reason; steps : int }
+
+let run p ~input ~strategy ~rng ~max_steps ?(post_roll = 0) () =
+  let builder = Trace.start p ~input in
+  let rec loop steps roll_left =
+    if steps >= max_steps then Budget
+    else begin
+      let g = Trace.current builder in
+      if Global.complete g && roll_left <= 0 then Completed
+      else begin
+        let enabled = Sim.enabled p g in
+        if (not (Global.complete g)) && List.length enabled = 2 && Sim.wake_only_complete p g
+        then Quiescent
+        else match strategy.Strategy.choose rng p g enabled with
+        | None -> Strategy_end
+        | Some move ->
+            let g' = Sim.apply p g move in
+            Trace.record builder move g';
+            let roll_left' =
+              if Global.complete g' then (if Global.complete g then roll_left - 1 else post_roll)
+              else roll_left
+            in
+            loop (steps + 1) roll_left'
+      end
+    end
+  in
+  let stop = loop 0 (if Global.complete (Trace.current builder) then post_roll else -1) in
+  let trace = Trace.finish builder in
+  { trace; stop; steps = Trace.length trace }
+
+let run_seeds p ~input ~strategy ~seeds ~max_steps ?(post_roll = 0) () =
+  List.map
+    (fun seed ->
+      run p ~input ~strategy ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ())
+    seeds
+
+let pp_stop ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Quiescent -> Format.pp_print_string ppf "quiescent"
+  | Budget -> Format.pp_print_string ppf "budget-exhausted"
+  | Strategy_end -> Format.pp_print_string ppf "strategy-ended"

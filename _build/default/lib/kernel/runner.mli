@@ -1,0 +1,40 @@
+(** Run driver: one protocol, one input, one strategy, one trace. *)
+
+type stop_reason =
+  | Completed  (** the whole input was written and the post-roll ran out *)
+  | Quiescent  (** nothing can ever change again (see {!Sim.wake_only_complete}) *)
+  | Budget  (** the step budget was exhausted before completion *)
+  | Strategy_end  (** the strategy returned [None] *)
+
+type result = {
+  trace : Trace.t;
+  stop : stop_reason;
+  steps : int;
+}
+
+val run :
+  Protocol.t ->
+  input:int array ->
+  strategy:Strategy.t ->
+  rng:Stdx.Rng.t ->
+  max_steps:int ->
+  ?post_roll:int ->
+  unit ->
+  result
+(** Drives the system until the output is complete (then for
+    [post_roll] extra moves, default 0 — knowledge measurements want a
+    tail), quiescence, step budget, or strategy surrender.  Every
+    transition is recorded in the trace. *)
+
+val run_seeds :
+  Protocol.t ->
+  input:int array ->
+  strategy:Strategy.t ->
+  seeds:int list ->
+  max_steps:int ->
+  ?post_roll:int ->
+  unit ->
+  result list
+(** One run per seed. *)
+
+val pp_stop : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,82 @@
+module Chan = Channel.Chan
+
+exception Model_violation of string
+
+let enabled (_p : Protocol.t) (g : Global.t) =
+  let deliveries_r = List.map (fun m -> Move.Deliver_to_receiver m) (Chan.deliverable g.chan_sr) in
+  let deliveries_s = List.map (fun m -> Move.Deliver_to_sender m) (Chan.deliverable g.chan_rs) in
+  let drops_r = List.map (fun m -> Move.Drop_to_receiver m) (Chan.droppable g.chan_sr) in
+  let drops_s = List.map (fun m -> Move.Drop_to_sender m) (Chan.droppable g.chan_rs) in
+  (Move.Wake_sender :: Move.Wake_receiver :: deliveries_r)
+  @ deliveries_s @ drops_r @ drops_s
+
+let check_action ~is_sender ~alphabet action =
+  match Protocol.validate_action ~is_sender ~alphabet action with
+  | Ok () -> ()
+  | Error msg -> raise (Model_violation msg)
+
+(* Step the sender with [event]; route its actions. *)
+let step_sender (p : Protocol.t) (g : Global.t) event =
+  let sender, actions = Proc.step g.sender event in
+  let g = { g with sender; s_hist = Hist.add_event g.s_hist event } in
+  List.fold_left
+    (fun (g : Global.t) action ->
+      check_action ~is_sender:true ~alphabet:p.Protocol.sender_alphabet action;
+      match action with
+      | Action.Send m ->
+          { g with chan_sr = Chan.send g.chan_sr m; s_hist = Hist.add_action g.s_hist action }
+      | Action.Write _ -> assert false)
+    g actions
+
+let step_receiver (p : Protocol.t) (g : Global.t) event =
+  let receiver, actions = Proc.step g.receiver event in
+  let g = { g with receiver; r_hist = Hist.add_event g.r_hist event } in
+  List.fold_left
+    (fun (g : Global.t) action ->
+      check_action ~is_sender:false ~alphabet:p.Protocol.receiver_alphabet action;
+      match action with
+      | Action.Send m ->
+          { g with chan_rs = Chan.send g.chan_rs m; r_hist = Hist.add_action g.r_hist action }
+      | Action.Write d ->
+          { g with output_rev = d :: g.output_rev; r_hist = Hist.add_action g.r_hist action })
+    g actions
+
+let apply (p : Protocol.t) (g : Global.t) move =
+  let g' =
+    match move with
+    | Move.Wake_sender -> step_sender p g Event.Wake
+    | Move.Wake_receiver -> step_receiver p g Event.Wake
+    | Move.Deliver_to_receiver m -> (
+        match Chan.deliver g.chan_sr m with
+        | None -> raise (Model_violation (Printf.sprintf "message %d not deliverable to R" m))
+        | Some chan_sr -> step_receiver p { g with chan_sr } (Event.Deliver m))
+    | Move.Deliver_to_sender m -> (
+        match Chan.deliver g.chan_rs m with
+        | None -> raise (Model_violation (Printf.sprintf "message %d not deliverable to S" m))
+        | Some chan_rs -> step_sender p { g with chan_rs } (Event.Deliver m))
+    | Move.Drop_to_receiver m -> (
+        match Chan.drop g.chan_sr m with
+        | None -> raise (Model_violation (Printf.sprintf "message %d not droppable (to R)" m))
+        | Some chan_sr -> { g with chan_sr })
+    | Move.Drop_to_sender m -> (
+        match Chan.drop g.chan_rs m with
+        | None -> raise (Model_violation (Printf.sprintf "message %d not droppable (to S)" m))
+        | Some chan_rs -> { g with chan_rs })
+  in
+  { g' with time = g.time + 1 }
+
+let wake_only_complete (p : Protocol.t) (g : Global.t) =
+  match enabled p g with
+  | [ Move.Wake_sender; Move.Wake_receiver ] ->
+      (* Quiescent iff waking either process is a no-op. *)
+      let after_s = apply p g Move.Wake_sender in
+      let after_r = apply p g Move.Wake_receiver in
+      let silent (before : Global.t) (after : Global.t) =
+        Chan.sent_total after.chan_sr = Chan.sent_total before.chan_sr
+        && Chan.sent_total after.chan_rs = Chan.sent_total before.chan_rs
+        && Global.output_length after = Global.output_length before
+        && String.equal (Proc.encode after.sender) (Proc.encode before.sender)
+        && String.equal (Proc.encode after.receiver) (Proc.encode before.receiver)
+      in
+      silent g after_s && silent g after_r
+  | _ -> false

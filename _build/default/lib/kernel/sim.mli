@@ -1,0 +1,30 @@
+(** The transition relation of the global system.
+
+    [enabled] lists the moves available to the environment in a global
+    state; [apply] performs one, stepping the relevant process,
+    routing its actions through the channels, and appending to the
+    kernel-recorded complete histories.
+
+    Invariants enforced here (violations raise [Model_violation]):
+    senders never write; all message symbols stay within the declared
+    alphabets; deliveries only happen for deliverable messages.  These
+    are exactly the modelling assumptions under which the paper's
+    bounds apply. *)
+
+exception Model_violation of string
+
+val enabled : Protocol.t -> Global.t -> Move.t list
+(** All moves the environment may take, deterministic order: wakes
+    first, then deliveries (ascending message), then drops.  Wake
+    moves are always enabled (Property 1(b)i: there is always an
+    extension in which no message is delivered). *)
+
+val apply : Protocol.t -> Global.t -> Move.t -> Global.t
+(** Perform one move.
+    @raise Model_violation on a protocol or scheduling fault. *)
+
+val wake_only_complete : Protocol.t -> Global.t -> bool
+(** True when only wake moves are enabled and neither process sends or
+    writes on wake — the system has reached a quiescent configuration
+    from which no adversary choice changes anything.  Used by run
+    drivers to stop early. *)

@@ -1,0 +1,171 @@
+module Chan = Channel.Chan
+
+type t = {
+  name : string;
+  choose : Stdx.Rng.t -> Protocol.t -> Global.t -> Move.t list -> Move.t option;
+}
+
+(* Strategies are stateless: anything they need to remember (time,
+   drop counts) is read back from the global state's counters, so one
+   strategy value can drive any number of runs. *)
+
+let is_wake = function Move.Wake_sender | Move.Wake_receiver -> true | _ -> false
+
+let is_delivery = function
+  | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
+  | _ -> false
+
+let is_drop = function Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> true | _ -> false
+
+let fair_random ?(deliver_weight = 4) ?(wake_weight = 2) ?(drop_weight = 0) () =
+  let weight m =
+    if is_wake m then wake_weight else if is_delivery m then deliver_weight else drop_weight
+  in
+  {
+    name = "fair-random";
+    choose =
+      (fun rng _p _g enabled ->
+        let weighted = List.filter_map (fun m -> let w = weight m in if w > 0 then Some (m, w) else None) enabled in
+        match weighted with
+        | [] -> None
+        | _ -> Some (Stdx.Rng.pick_weighted rng weighted));
+  }
+
+(* Rotate through the deliverable set by time so that, on duplication
+   channels (whose deliverable set never shrinks), every message keeps
+   being delivered — always taking the smallest would starve the rest. *)
+let rotating_delivery_to p ~time enabled =
+  let candidates =
+    List.filter_map
+      (fun m ->
+        match (p, m) with
+        | `R, Move.Deliver_to_receiver x -> Some (x, m)
+        | `S, Move.Deliver_to_sender x -> Some (x, m)
+        | _ -> None)
+      enabled
+  in
+  match List.sort (fun (a, _) (b, _) -> Int.compare a b) candidates with
+  | [] -> None
+  | sorted ->
+      let _, m = List.nth sorted (time / 4 mod List.length sorted) in
+      Some m
+
+let round_robin =
+  {
+    name = "round-robin";
+    choose =
+      (fun _rng _p (g : Global.t) enabled ->
+        let phase = g.Global.time mod 4 in
+        let preference =
+          match phase with
+          | 0 -> Some Move.Wake_sender
+          | 1 -> rotating_delivery_to `R ~time:g.Global.time enabled
+          | 2 -> Some Move.Wake_receiver
+          | _ -> rotating_delivery_to `S ~time:g.Global.time enabled
+        in
+        match preference with
+        | Some m when List.exists (Move.equal m) enabled -> Some m
+        | _ ->
+            (* Fall back: next wake in the rotation. *)
+            if phase < 2 then Some Move.Wake_sender else Some Move.Wake_receiver);
+  }
+
+let newest_first =
+  {
+    name = "newest-first";
+    choose =
+      (fun _rng _p (g : Global.t) enabled ->
+        let deliveries =
+          List.filter_map
+            (fun m ->
+              match m with
+              | Move.Deliver_to_receiver x -> Some (x, m)
+              | Move.Deliver_to_sender x -> Some (x, m)
+              | _ -> None)
+            enabled
+        in
+        (* Largest symbols first, but rotate through the whole set over
+           time: a pure "always newest" rule would starve the rest on
+           duplication channels, whose deliverable set never shrinks. *)
+        match List.sort (fun (a, _) (b, _) -> Int.compare b a) deliveries with
+        | [] -> if g.Global.time mod 2 = 0 then Some Move.Wake_sender else Some Move.Wake_receiver
+        | sorted when g.Global.time mod 3 <> 0 ->
+            let _, m = List.nth sorted (g.Global.time / 9 mod List.length sorted) in
+            Some m
+        | _ -> if g.Global.time mod 2 = 0 then Some Move.Wake_sender else Some Move.Wake_receiver);
+  }
+
+let dup_flood ?(burst = 3) () =
+  {
+    name = Printf.sprintf "dup-flood(%d)" burst;
+    choose =
+      (fun rng _p (g : Global.t) enabled ->
+        let deliveries = List.filter is_delivery enabled in
+        (* Within a burst window re-deliver; outside it let a process
+           take a step so the system makes progress. *)
+        if g.Global.time mod (burst + 2) < burst && deliveries <> [] then
+          Some (Stdx.Rng.pick rng deliveries)
+        else if Stdx.Rng.bool rng then Some Move.Wake_sender
+        else Some Move.Wake_receiver);
+  }
+
+let total_dropped (g : Global.t) =
+  Chan.dropped_total g.Global.chan_sr + Chan.dropped_total g.Global.chan_rs
+
+let drop_rate p inner =
+  {
+    name = Printf.sprintf "%s+drop(%.2f)" inner.name p;
+    choose =
+      (fun rng proto g enabled ->
+        let drops = List.filter is_drop enabled in
+        if drops <> [] && Stdx.Rng.float rng < p then Some (Stdx.Rng.pick rng drops)
+        else inner.choose rng proto g (List.filter (fun m -> not (is_drop m)) enabled));
+  }
+
+let drop_first n inner =
+  {
+    name = Printf.sprintf "%s+drop-first(%d)" inner.name n;
+    choose =
+      (fun rng proto g enabled ->
+        let drops = List.filter is_drop enabled in
+        if total_dropped g < n && drops <> [] then Some (List.hd drops)
+        else inner.choose rng proto g (List.filter (fun m -> not (is_drop m)) enabled));
+  }
+
+let drop_after ~at n inner =
+  {
+    name = Printf.sprintf "%s+drop-after(%d,%d)" inner.name at n;
+    choose =
+      (fun rng proto (g : Global.t) enabled ->
+        let drops = List.filter is_drop enabled in
+        if g.Global.time >= at && total_dropped g < n && drops <> [] then Some (List.hd drops)
+        else inner.choose rng proto g (List.filter (fun m -> not (is_drop m)) enabled));
+  }
+
+let scripted moves =
+  let arr = Array.of_list moves in
+  {
+    name = "scripted";
+    choose =
+      (fun _rng _p (g : Global.t) enabled ->
+        let i = g.Global.time in
+        if i >= Array.length arr then None
+        else begin
+          let m = arr.(i) in
+          if List.exists (Move.equal m) enabled then Some m else None
+        end);
+  }
+
+let starve_receiver ~until inner =
+  {
+    name = Printf.sprintf "%s+starve-R(%d)" inner.name until;
+    choose =
+      (fun rng proto (g : Global.t) enabled ->
+        if g.Global.time < until then begin
+          let allowed =
+            List.filter (function Move.Deliver_to_receiver _ -> false | _ -> true) enabled
+          in
+          inner.choose rng proto g allowed
+        end
+        else inner.choose rng proto g enabled);
+  }

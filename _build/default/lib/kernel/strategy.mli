@@ -1,0 +1,60 @@
+(** Environment strategies (adversaries and fair schedulers).
+
+    A strategy picks the next environment move.  The paper's
+    environment is an implicit protocol (§2.2); here it is explicit
+    and pluggable, covering both the *fair* schedulers needed to
+    exercise liveness and the *adversarial* ones that realise
+    worst-case reordering, duplication flooding, and targeted
+    deletion. *)
+
+type t = {
+  name : string;
+  choose : Stdx.Rng.t -> Protocol.t -> Global.t -> Move.t list -> Move.t option;
+      (** [choose rng p g enabled] picks among [enabled] (never empty:
+          wakes are always enabled).  [None] ends the run early. *)
+}
+
+val fair_random : ?deliver_weight:int -> ?wake_weight:int -> ?drop_weight:int -> unit -> t
+(** Weighted random choice.  Defaults ([deliver_weight = 4],
+    [wake_weight = 2], [drop_weight = 0]) favour progress: deliveries
+    are preferred when available and nothing is dropped, so every
+    finite prefix keeps extending towards a fair completion
+    (Property 2). *)
+
+val round_robin : t
+(** Deterministic rotation: wake S, deliver the smallest deliverable
+    message to R, wake R, deliver the smallest to S.  A simple fair
+    scheduler for reproducible examples. *)
+
+val newest_first : t
+(** Prefers delivering the *largest* message symbol available — a
+    deterministic reordering adversary (symbols sent later in the §3
+    protocol carry larger ranks, so this maximises disorder). *)
+
+val dup_flood : ?burst:int -> unit -> t
+(** Reorder+dup adversary: re-delivers already-deliverable messages in
+    bursts before letting the system progress — exercises the
+    "channel can deliver an unbounded number of copies" behaviour
+    driving Theorem 1. *)
+
+val drop_rate : float -> t -> t
+(** [drop_rate p inner] deletes a droppable copy with probability [p]
+    at each step (when one exists) and otherwise defers to [inner]. *)
+
+val drop_first : int -> t -> t
+(** [drop_first n inner] deletes the first [n] droppable copies it
+    sees, then behaves as [inner] — the "single fault at a chosen
+    moment" adversary of §5 when [n = 1]. *)
+
+val drop_after : at:int -> int -> t -> t
+(** [drop_after ~at n inner] behaves as [inner] until global time
+    [at], then deletes the next [n] droppable copies, then reverts to
+    [inner].  Used by E5 to inject a fault right after [t_i]. *)
+
+val scripted : Move.t list -> t
+(** Replays a fixed move list, ending the run when exhausted or when a
+    scripted move is not enabled. *)
+
+val starve_receiver : until:int -> t -> t
+(** Withholds all deliveries to R before global time [until], then
+    defers to the inner strategy — a pure-delay adversary. *)

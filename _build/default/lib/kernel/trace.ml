@@ -1,0 +1,103 @@
+type t = {
+  protocol_name : string;
+  input : int array;
+  moves : Move.t array;
+  r_hist_final : Hist.t;
+  s_hist_final : Hist.t;
+  r_view_len : int array; (* per point, length = moves + 1 *)
+  s_view_len : int array;
+  out_len : int array;
+  outputs : int array; (* final output tape *)
+  final : Global.t;
+  completed_at : int option;
+  first_safety_violation : int option;
+}
+
+type builder = {
+  name : string;
+  b_input : int array;
+  mutable rev_moves : Move.t list;
+  mutable rev_r_len : int list; (* per point *)
+  mutable rev_s_len : int list;
+  mutable rev_out_len : int list;
+  mutable state : Global.t;
+  mutable completed : int option;
+  mutable violated : int option;
+  mutable steps : int;
+}
+
+let start (p : Protocol.t) ~input =
+  let g0 = Global.initial p ~input in
+  {
+    name = p.Protocol.name;
+    b_input = input;
+    rev_moves = [];
+    rev_r_len = [ 0 ];
+    rev_s_len = [ 0 ];
+    rev_out_len = [ 0 ];
+    state = g0;
+    completed = (if Global.complete g0 then Some 0 else None);
+    violated = None;
+    steps = 0;
+  }
+
+let current b = b.state
+
+let record b move (g' : Global.t) =
+  b.rev_moves <- move :: b.rev_moves;
+  b.rev_r_len <- Hist.length g'.Global.r_hist :: b.rev_r_len;
+  b.rev_s_len <- Hist.length g'.Global.s_hist :: b.rev_s_len;
+  b.rev_out_len <- Global.output_length g' :: b.rev_out_len;
+  b.state <- g';
+  b.steps <- b.steps + 1;
+  (match b.completed with
+  | None when Global.complete g' -> b.completed <- Some b.steps
+  | _ -> ());
+  match b.violated with
+  | None when not (Global.safety_ok g') -> b.violated <- Some b.steps
+  | _ -> ()
+
+let finish b =
+  {
+    protocol_name = b.name;
+    input = b.b_input;
+    moves = Array.of_list (List.rev b.rev_moves);
+    r_hist_final = b.state.Global.r_hist;
+    s_hist_final = b.state.Global.s_hist;
+    r_view_len = Array.of_list (List.rev b.rev_r_len);
+    s_view_len = Array.of_list (List.rev b.rev_s_len);
+    out_len = Array.of_list (List.rev b.rev_out_len);
+    outputs = Array.of_list (Global.output b.state);
+    final = b.state;
+    completed_at = b.completed;
+    first_safety_violation = b.violated;
+  }
+
+let protocol_name t = t.protocol_name
+let input t = t.input
+let length t = Array.length t.moves
+let moves t = t.moves
+let final t = t.final
+
+let r_view t time = Hist.prefix t.r_hist_final t.r_view_len.(time)
+let s_view t time = Hist.prefix t.s_hist_final t.s_view_len.(time)
+
+let output_length_at t time = t.out_len.(time)
+
+let output_at t time = Array.to_list (Array.sub t.outputs 0 t.out_len.(time))
+
+let completed_at t = t.completed_at
+let first_safety_violation t = t.first_safety_violation
+
+let messages_sent t =
+  Channel.Chan.sent_total t.final.Global.chan_sr + Channel.Chan.sent_total t.final.Global.chan_rs
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: |X|=%d steps=%d msgs=%d %s%s" t.protocol_name
+    (Array.length t.input) (length t) (messages_sent t)
+    (match t.completed_at with
+    | Some n -> Printf.sprintf "completed@%d" n
+    | None -> "incomplete")
+    (match t.first_safety_violation with
+    | Some n -> Printf.sprintf " SAFETY-VIOLATION@%d" n
+    | None -> "")

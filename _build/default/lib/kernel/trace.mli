@@ -1,0 +1,57 @@
+(** Finite runs (prefixes of the infinite runs of §2.2).
+
+    A trace records everything the knowledge layer and the verdict
+    checkers need about one execution: the input tape, the move
+    sequence, per-time history lengths (so the local view at any point
+    [(r,t)] can be reconstructed), output growth, and the final global
+    state.  Traces are immutable once finished. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val start : Protocol.t -> input:int array -> builder
+(** A builder positioned at the initial global state. *)
+
+val current : builder -> Global.t
+
+val record : builder -> Move.t -> Global.t -> unit
+(** [record b move g'] appends one transition.  [g'] must be the
+    result of [Sim.apply _ (current b) move]. *)
+
+val finish : builder -> t
+
+(** {1 Accessors} *)
+
+val protocol_name : t -> string
+val input : t -> int array
+val length : t -> int
+(** Number of moves (so there are [length + 1] points, [0..length]). *)
+
+val moves : t -> Move.t array
+val final : t -> Global.t
+
+val r_view : t -> int -> Hist.t
+(** [r_view t time] is the receiver's complete local history at point
+    [(t, time)], [0 <= time <= length t]. *)
+
+val s_view : t -> int -> Hist.t
+
+val output_at : t -> int -> int list
+(** The output tape at a point. *)
+
+val output_length_at : t -> int -> int
+
+val completed_at : t -> int option
+(** First time at which the whole input had been written, if any. *)
+
+val first_safety_violation : t -> int option
+(** First time at which the output stopped being a prefix of the
+    input, if ever (a correct protocol never has one). *)
+
+val messages_sent : t -> int
+(** Total sends on both channels over the run. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/knowledge/exact.ml: Array Kernel Learn List Universe

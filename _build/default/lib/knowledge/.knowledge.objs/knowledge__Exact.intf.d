@@ -1,0 +1,1 @@
+lib/knowledge/exact.mli: Kernel Universe

@@ -1,0 +1,1 @@
+lib/knowledge/formula.ml: Array Format Kernel List Universe

@@ -1,0 +1,1 @@
+lib/knowledge/formula.mli: Format Universe

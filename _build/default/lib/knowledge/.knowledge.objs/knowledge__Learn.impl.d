@@ -1,0 +1,1 @@
+lib/knowledge/learn.ml: Array Kernel List Universe

@@ -1,0 +1,1 @@
+lib/knowledge/learn.mli: Universe

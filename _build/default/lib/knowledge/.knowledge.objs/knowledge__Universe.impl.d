@@ -1,0 +1,1 @@
+lib/knowledge/universe.ml: Array Hashtbl Kernel List Option

@@ -1,0 +1,87 @@
+module Trace = Kernel.Trace
+
+let item_value input ~i = if i <= Array.length input then Some input.(i - 1) else None
+
+let knows_item u p ~i =
+  match item_value (Universe.input_of u p) ~i with
+  | None -> false (* x_i does not exist in this run, so no K_R(x_i = d) can hold *)
+  | Some v ->
+      List.for_all
+        (fun q ->
+          match item_value (Universe.input_of u q) ~i with
+          | Some w -> w = v
+          | None -> false)
+        (Universe.r_class u p)
+
+let known_prefix_length u p =
+  let n = Array.length (Universe.input_of u p) in
+  let rec go i = if i < n && knows_item u p ~i:(i + 1) then go (i + 1) else i in
+  go 0
+
+let learning_times u ~run =
+  let trace = (Universe.traces u).(run) in
+  let n = Array.length (Trace.input trace) in
+  let horizon = Trace.length trace in
+  let times = Array.make n None in
+  (* Scan forward; knowledge is stable so the first time the known
+     prefix reaches i gives t_i for every newly covered i. *)
+  let covered = ref 0 in
+  let time = ref 0 in
+  while !covered < n && !time <= horizon do
+    let k = known_prefix_length u { Universe.run; time = !time } in
+    while !covered < min k n do
+      times.(!covered) <- Some !time;
+      incr covered
+    done;
+    incr time
+  done;
+  times
+
+let gaps times =
+  let prev = ref (Some 0) in
+  Array.to_list
+    (Array.map
+       (fun t ->
+         let g = match (!prev, t) with Some a, Some b -> Some (b - a) | _ -> None in
+         prev := t;
+         g)
+       times)
+
+let write_times u ~run =
+  let trace = (Universe.traces u).(run) in
+  let n = Array.length (Trace.input trace) in
+  let horizon = Trace.length trace in
+  Array.init n (fun idx ->
+      let rec find time =
+        if time > horizon then None
+        else if Trace.output_length_at trace time >= idx + 1 then Some time
+        else find (time + 1)
+      in
+      find 0)
+
+let stability_ok u ~run =
+  let trace = (Universe.traces u).(run) in
+  let n = Array.length (Trace.input trace) in
+  let horizon = Trace.length trace in
+  let rec check_item i =
+    if i > n then true
+    else begin
+      let rec scan time seen =
+        if time > horizon then true
+        else begin
+          let k = knows_item u { Universe.run; time } ~i in
+          if seen && not k then false else scan (time + 1) (seen || k)
+        end
+      in
+      scan 0 false && check_item (i + 1)
+    end
+  in
+  check_item 1
+
+let knowledge_lead u ~run =
+  let learn = learning_times u ~run in
+  let write = write_times u ~run in
+  Array.to_list
+    (Array.map2
+       (fun l w -> match (l, w) with Some l, Some w -> Some (w - l) | _ -> None)
+       learn write)

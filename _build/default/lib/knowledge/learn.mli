@@ -1,0 +1,48 @@
+(** Knowledge evaluation and the learning times [t_i] (§2.3–2.4).
+
+    [K_R(x_i)] abbreviates [∨_{d∈D} K_R(x_i = d)]: at a point, the
+    receiver knows the value of the i-th input item iff every point it
+    cannot tell apart carries an input whose i-th item exists and has
+    the same value.
+
+    [t_i^r] is the first time in run [r] at which
+    [⋀_{j≤i} K_R(x_j)] holds — the paper's central measuring device.
+    Under the complete-history interpretation knowledge is stable, so
+    [t_i] is well-defined and monotone in [i]; {!stability_ok} audits
+    this on the computed universe (it can only fail if the universe
+    construction itself were broken). *)
+
+val knows_item : Universe.t -> Universe.point -> i:int -> bool
+(** [knows_item u p ~i] is [K_R(x_i)] at [p].  [i] is 1-based, as in
+    the paper. *)
+
+val known_prefix_length : Universe.t -> Universe.point -> int
+(** The largest [i] with [⋀_{j≤i} K_R(x_j)] at the point (0 when even
+    [x_1] is unknown). *)
+
+val learning_times : Universe.t -> run:int -> int option array
+(** [learning_times u ~run] has length [|X^run|]; slot [i−1] is
+    [Some t_i] — the first time the receiver knows items [1..i] — or
+    [None] if that never happens within the trace.  (For runs
+    completing under a fair schedule the paper guarantees
+    [t_i < ∞] for all [i]; a [None] in an experiment means the trace
+    was truncated too early or the schedule was unfair.) *)
+
+val gaps : int option array -> int option list
+(** Successive differences [t_i − t_{i−1}] (with [t_0 = 0]);
+    [None] propagates. *)
+
+val write_times : Universe.t -> run:int -> int option array
+(** The ablation variant: the first time each item is *written*
+    rather than known.  The paper points out writing can lag knowing
+    ("it is possible to design protocols where R writes the i-th data
+    item well after R has learnt it"); E6 reports both. *)
+
+val stability_ok : Universe.t -> run:int -> bool
+(** Checks that [K_R(x_i)], once true along the run, never reverts —
+    the stability property §2.3 derives from the complete-history
+    interpretation. *)
+
+val knowledge_lead : Universe.t -> run:int -> int option list
+(** Per item, [write_time − learning_time]: how long the receiver sat
+    on knowledge before committing it to the output tape. *)

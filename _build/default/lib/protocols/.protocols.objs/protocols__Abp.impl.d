@@ -1,0 +1,1 @@
+lib/protocols/abp.ml: Action Array Channel Event Kernel Printf Proc Protocol

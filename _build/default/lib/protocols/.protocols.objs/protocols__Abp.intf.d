@@ -1,0 +1,1 @@
+lib/protocols/abp.mli: Channel Kernel

@@ -1,0 +1,1 @@
+lib/protocols/coded.ml: Action Array Channel Event Int Kernel List Printf Proc Protocol Seqspace Set

@@ -1,0 +1,1 @@
+lib/protocols/coded.mli: Channel Kernel Seqspace

@@ -1,0 +1,1 @@
+lib/protocols/counting.mli: Channel Kernel

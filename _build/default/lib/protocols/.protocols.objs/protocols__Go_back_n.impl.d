@@ -1,0 +1,1 @@
+lib/protocols/go_back_n.ml: Action Array Channel Event Kernel Printf Proc Protocol

@@ -1,0 +1,1 @@
+lib/protocols/go_back_n.mli: Channel Kernel

@@ -1,0 +1,1 @@
+lib/protocols/hybrid.ml: Action Array Channel Event Kernel Ladder List Printf Proc Protocol Seqspace

@@ -1,0 +1,1 @@
+lib/protocols/hybrid.mli: Kernel Seqspace

@@ -1,0 +1,1 @@
+lib/protocols/ladder.ml: Action Array Channel Event Kernel List Printf Proc Protocol Seqspace

@@ -1,0 +1,1 @@
+lib/protocols/ladder.mli: Kernel Seqspace

@@ -1,0 +1,1 @@
+lib/protocols/norep.ml: Action Array Channel Event Int Kernel Printf Proc Protocol Set

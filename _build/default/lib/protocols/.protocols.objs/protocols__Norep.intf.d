@@ -1,0 +1,1 @@
+lib/protocols/norep.mli: Kernel

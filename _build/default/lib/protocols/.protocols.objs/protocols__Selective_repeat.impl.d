@@ -1,0 +1,1 @@
+lib/protocols/selective_repeat.ml: Action Array Channel Event Int Kernel List Map Option Printf Proc Protocol

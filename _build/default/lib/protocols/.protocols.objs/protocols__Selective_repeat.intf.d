@@ -1,0 +1,1 @@
+lib/protocols/selective_repeat.mli: Channel Kernel

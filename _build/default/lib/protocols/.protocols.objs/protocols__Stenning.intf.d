@@ -1,0 +1,1 @@
+lib/protocols/stenning.mli: Channel Kernel

@@ -1,0 +1,1 @@
+lib/protocols/stenning_mod.ml: Action Array Channel Event Kernel Printf Proc Protocol

@@ -1,0 +1,1 @@
+lib/protocols/stenning_mod.mli: Channel Kernel

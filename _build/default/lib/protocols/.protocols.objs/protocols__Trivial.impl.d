@@ -1,0 +1,1 @@
+lib/protocols/trivial.ml: Action Array Channel Event Kernel Proc Protocol

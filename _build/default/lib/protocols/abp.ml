@@ -1,0 +1,57 @@
+open Kernel
+
+let encode_msg ~domain ~bit ~data = (bit * domain) + data
+
+let decode_msg ~domain m = (m / domain, m mod domain)
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  next : int; (* index of the item being transmitted *)
+  bit : int;
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake ->
+      if s.next < n then
+        (s, [ Action.Send (encode_msg ~domain:s.domain ~bit:s.bit ~data:s.input.(s.next)) ])
+      else (s, [])
+  | Event.Deliver ack ->
+      if s.next < n && ack = s.bit then ({ s with next = s.next + 1; bit = 1 - s.bit }, [])
+      else (s, [])
+
+type receiver_state = {
+  r_domain : int;
+  expected : int; (* bit expected on the next new item *)
+  started : bool; (* whether anything has been received yet *)
+}
+
+let receiver_step r event =
+  match event with
+  | Event.Deliver m ->
+      let bit, data = decode_msg ~domain:r.r_domain m in
+      if bit = r.expected then
+        ({ r with expected = 1 - r.expected; started = true },
+         [ Action.Write data; Action.Send bit ])
+      else (r, [ Action.Send bit ]) (* duplicate of the previous item: re-ack it *)
+  | Event.Wake ->
+      (* Re-send the last acknowledgement so a lost ack cannot wedge
+         the sender.  Before anything arrived there is nothing to ack. *)
+      if r.started then (r, [ Action.Send (1 - r.expected) ]) else (r, [])
+
+let protocol_on channel ~domain =
+  {
+    Protocol.name = Printf.sprintf "abp(d=%d,%s)" domain (Channel.Chan.kind_name channel);
+    sender_alphabet = 2 * domain;
+    receiver_alphabet = 2;
+    channel;
+    make_sender =
+      (fun ~input -> Proc.make ~state:{ input; domain; next = 0; bit = 0 } ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make ~state:{ r_domain = domain; expected = 0; started = false } ~step:receiver_step ());
+  }
+
+let protocol ~domain = protocol_on Channel.Chan.Fifo_lossy ~domain

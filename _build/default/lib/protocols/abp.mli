@@ -1,0 +1,28 @@
+(** The Alternating Bit protocol ([BSW69]).
+
+    The classic data-link protocol over a FIFO channel that may lose
+    (but not reorder) messages.  Data messages carry one control bit
+    and one data item (sender alphabet [2·domain]); acknowledgements
+    carry the bit alone (receiver alphabet 2).  Both sides retransmit
+    their current message on every wake-up, so any loss rate with
+    eventual delivery is tolerated.
+
+    ABP appears in the paper in §5: it is the "normal mode" of the
+    weakly-bounded hybrid protocol, and it is the canonical example of
+    a protocol that transmits *all* sequences over [D] — something
+    Theorems 1 and 2 show is impossible once the channel may also
+    reorder, which is why ABP here targets {!Channel.Chan.Fifo_lossy}
+    and is demonstrably unsafe under reordering (experiment E2 attacks
+    it on a reorder+dup channel). *)
+
+val protocol : domain:int -> Kernel.Protocol.t
+
+val protocol_on : Channel.Chan.kind -> domain:int -> Kernel.Protocol.t
+(** Same machines declared against a different channel — used by the
+    attack experiments to exhibit ABP's unsafety under reordering. *)
+
+val encode_msg : domain:int -> bit:int -> data:int -> int
+(** The wire encoding of data messages: [bit·domain + data]. *)
+
+val decode_msg : domain:int -> int -> int * int
+(** Inverse of {!encode_msg}: [(bit, data)]. *)

@@ -1,0 +1,78 @@
+open Kernel
+module Codes = Seqspace.Codes
+
+module IntSet = Set.Make (Int)
+
+type sender_state = {
+  path : int array; (* μ(input): the message symbols along the input's trie path *)
+  next : int; (* index of the symbol awaiting acknowledgement *)
+}
+
+let sender_step s event =
+  let n = Array.length s.path in
+  match event with
+  | Event.Wake -> if s.next < n then (s, [ Action.Send s.path.(s.next) ]) else (s, [])
+  | Event.Deliver ack ->
+      if s.next < n && ack = s.path.(s.next) then ({ s with next = s.next + 1 }, []) else (s, [])
+
+type receiver_state = {
+  node : Codes.node;
+  seen : IntSet.t;
+  last : int option;
+}
+
+let receiver_step code r event =
+  match event with
+  | Event.Deliver sym ->
+      if IntSet.mem sym r.seen then (r, [ Action.Send sym ])
+      else begin
+        (* Fresh symbols arrive in path order (same causality argument
+           as the norep protocol), so they always label an edge out of
+           the current node. *)
+        match (Codes.step_by_msg code r.node sym, Codes.data_of_edge code r.node sym) with
+        | Some node, Some data ->
+            ({ node; seen = IntSet.add sym r.seen; last = Some sym },
+             [ Action.Write data; Action.Send sym ])
+        | _ ->
+            (* Unreachable for inputs in 𝒳; tolerate gracefully by
+               ignoring, so foreign inputs surface as liveness (not
+               crash) failures in experiments probing misuse. *)
+            ({ r with seen = IntSet.add sym r.seen }, [])
+      end
+  | Event.Wake -> (
+      match r.last with Some sym -> (r, [ Action.Send sym ]) | None -> (r, []))
+
+let make ~name ~channel ~m ~xs =
+  match Codes.build ~m xs with
+  | Error e -> Error e
+  | Ok code ->
+      Ok
+        {
+          Protocol.name;
+          sender_alphabet = m;
+          receiver_alphabet = m;
+          channel;
+          make_sender =
+            (fun ~input ->
+              let path =
+                match Codes.encode code (Array.to_list input) with
+                | Some path -> Array.of_list path
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "%s: input sequence is not in the allowable set" name)
+              in
+              Proc.make ~state:{ path; next = 0 } ~step:sender_step ());
+          make_receiver =
+            (fun () ->
+              Proc.make
+                ~state:{ node = Codes.root code; seen = IntSet.empty; last = None }
+                ~step:(receiver_step code) ());
+        }
+
+let dup ~m ~xs =
+  make ~name:(Printf.sprintf "coded-dup(m=%d,|X|=%d)" m (List.length xs))
+    ~channel:Channel.Chan.Reorder_dup ~m ~xs
+
+let del ~m ~xs =
+  make ~name:(Printf.sprintf "coded-del(m=%d,|X|=%d)" m (List.length xs))
+    ~channel:Channel.Chan.Reorder_del ~m ~xs

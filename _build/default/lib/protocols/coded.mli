@@ -1,0 +1,36 @@
+(** The generalized tight protocol: arbitrary allowable sets via μ(X).
+
+    The end of §3 notes that solving [𝒳]-STP(dup) amounts to mapping
+    each input sequence to a repetition-free message sequence,
+    prefix-monotonically.  This protocol makes the observation
+    executable for any explicit [𝒳] admitting such a code: the sender
+    walks [𝒳]'s prefix trie along its input and transmits the *edge
+    labels* (message symbols) instead of raw data; the receiver walks
+    the same trie keyed on fresh symbols and writes the data labels of
+    the edges it traverses.
+
+    With [𝒳] = all repetition-free sequences and the identity
+    labelling this degenerates to {!Norep}; with other allowable sets
+    — e.g. sequences *with* repetitions such as [⟨0,0,1⟩] — it shows
+    the bound is about the number of sequences, not their shape:
+    anything with [|𝒳| ≤ α(m)] and a labellable trie goes through an
+    [m]-symbol alphabet. *)
+
+val make :
+  name:string ->
+  channel:Channel.Chan.kind ->
+  m:int ->
+  xs:int list list ->
+  (Kernel.Protocol.t, Seqspace.Codes.error) result
+(** [make ~name ~channel ~m ~xs] builds the protocol for the explicit
+    allowable set [xs] over an [m]-symbol message alphabet, failing
+    with the offending trie node when no repetition-free
+    prefix-monotone labelling exists (which Theorem 1 guarantees
+    happens whenever [|𝒳| > α(m)], and the greedy labelling may also
+    report for unlucky smaller sets whose trie is too bushy). *)
+
+val dup : m:int -> xs:int list list -> (Kernel.Protocol.t, Seqspace.Codes.error) result
+(** [make] targeting the reorder+dup channel. *)
+
+val del : m:int -> xs:int list list -> (Kernel.Protocol.t, Seqspace.Codes.error) result
+(** [make] targeting the reorder+del channel. *)

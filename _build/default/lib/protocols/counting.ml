@@ -1,0 +1,59 @@
+open Kernel
+
+type sender_state = { input : int array; next : int }
+
+let oneshot_sender_step s event =
+  match event with
+  | Event.Wake when s.next < Array.length s.input ->
+      ({ s with next = s.next + 1 }, [ Action.Send s.input.(s.next) ])
+  | Event.Wake | Event.Deliver _ -> (s, [])
+
+let oneshot_receiver_step () event =
+  match event with
+  | Event.Deliver d -> ((), [ Action.Write d ])
+  | Event.Wake -> ((), [])
+
+let protocol_on channel ~domain =
+  {
+    Protocol.name = Printf.sprintf "counting(d=%d,%s)" domain (Channel.Chan.kind_name channel);
+    sender_alphabet = domain;
+    receiver_alphabet = 1;
+    channel;
+    make_sender =
+      (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:oneshot_sender_step ());
+    make_receiver = (fun () -> Proc.make ~state:() ~step:oneshot_receiver_step ());
+  }
+
+(* Retransmitting variant: wait for an echo of the current item before
+   advancing.  Unlike the norep protocol there is no freshness test on
+   the receiving side, so stale copies still break it. *)
+
+let resend_sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake -> if s.next < n then (s, [ Action.Send s.input.(s.next) ]) else (s, [])
+  | Event.Deliver ack ->
+      if s.next < n && ack = s.input.(s.next) then ({ s with next = s.next + 1 }, []) else (s, [])
+
+type resend_receiver_state = { last_written : int option }
+
+let resend_receiver_step r event =
+  match event with
+  | Event.Deliver d ->
+      (* Consecutive duplicates are suppressed (the obvious patch), but
+         anything else is trusted blindly. *)
+      if r.last_written = Some d then (r, [ Action.Send d ])
+      else ({ last_written = Some d }, [ Action.Write d; Action.Send d ])
+  | Event.Wake -> (r, [])
+
+let resend channel ~domain =
+  {
+    Protocol.name =
+      Printf.sprintf "counting-resend(d=%d,%s)" domain (Channel.Chan.kind_name channel);
+    sender_alphabet = domain;
+    receiver_alphabet = domain;
+    channel;
+    make_sender = (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:resend_sender_step ());
+    make_receiver =
+      (fun () -> Proc.make ~state:{ last_written = None } ~step:resend_receiver_step ());
+  }

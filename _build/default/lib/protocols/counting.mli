@@ -1,0 +1,20 @@
+(** The naive protocol that ignores the theorems — an attack victim.
+
+    Sender: send each data item once, in order, as its own value.
+    Receiver: write every delivered message.  This is the {!Trivial}
+    protocol pointed at an unreliable channel, and it claims to
+    transmit *all* sequences over [D] — i.e. [|𝒳| = ∞ > α(m)] with
+    [m = |D|] — so by Theorems 1 and 2 it must be breakable.  It is:
+    duplication makes the receiver write items twice, reordering makes
+    it write them out of order, deletion makes it skip items.
+    Experiments E2/E3 exhibit concrete interleavings (found by the
+    product attack search) for each failure. *)
+
+val protocol_on : Channel.Chan.kind -> domain:int -> Kernel.Protocol.t
+
+val resend : Channel.Chan.kind -> domain:int -> Kernel.Protocol.t
+(** A variant whose sender re-sends the current item until it is
+    acknowledged (receiver acknowledges every delivery with the item's
+    value).  Fixes nothing fundamental — the attack still wins — but
+    it is the natural "add retransmission" patch a practitioner would
+    try first, so the experiments include it. *)

@@ -1,0 +1,75 @@
+open Kernel
+
+(* Wire format: frame for item [i] is [(i mod M)·domain + x_i] with
+   [M = window + 1]; acknowledgement [a] means "the receiver's next
+   expected sequence number is ≡ a (mod M)" — cumulative. *)
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  window : int;
+  modulus : int;
+  base : int; (* lowest unacknowledged item *)
+  cursor : int; (* next outstanding frame to (re)transmit *)
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake ->
+      if s.base >= n then (s, [])
+      else begin
+        let hi = min (s.base + s.window) n in
+        let cursor = if s.cursor < s.base || s.cursor >= hi then s.base else s.cursor in
+        let frame = (cursor mod s.modulus * s.domain) + s.input.(cursor) in
+        ({ s with cursor = cursor + 1 }, [ Action.Send frame ])
+      end
+  | Event.Deliver ack ->
+      if s.base >= n then (s, [])
+      else begin
+        (* Cumulative ack: advance by (ack − base) mod M, but never
+           past what was actually sent (at most the window). *)
+        let advance = (ack - (s.base mod s.modulus) + s.modulus) mod s.modulus in
+        let outstanding = min s.window (n - s.base) in
+        if advance >= 1 && advance <= outstanding then
+          ({ s with base = s.base + advance }, [])
+        else (s, [])
+      end
+
+type receiver_state = {
+  r_domain : int;
+  r_modulus : int;
+  expected : int; (* absolute count of in-order items received *)
+}
+
+let receiver_step r event =
+  match event with
+  | Event.Deliver frame ->
+      let seq = frame / r.r_domain and data = frame mod r.r_domain in
+      if seq = r.expected mod r.r_modulus then
+        ( { r with expected = r.expected + 1 },
+          [ Action.Write data; Action.Send ((r.expected + 1) mod r.r_modulus) ] )
+      else (r, [ Action.Send (r.expected mod r.r_modulus) ])
+  | Event.Wake ->
+      if r.expected > 0 then (r, [ Action.Send (r.expected mod r.r_modulus) ]) else (r, [])
+
+let protocol_on channel ~domain ~window =
+  if window < 1 then invalid_arg "Go_back_n.protocol: window must be >= 1";
+  let modulus = window + 1 in
+  {
+    Protocol.name =
+      Printf.sprintf "go-back-%d(d=%d,%s)" window domain (Channel.Chan.kind_name channel);
+    sender_alphabet = modulus * domain;
+    receiver_alphabet = modulus;
+    channel;
+    make_sender =
+      (fun ~input ->
+        Proc.make ~state:{ input; domain; window; modulus; base = 0; cursor = 0 }
+          ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make ~state:{ r_domain = domain; r_modulus = modulus; expected = 0 }
+          ~step:receiver_step ());
+  }
+
+let protocol ~domain ~window = protocol_on Channel.Chan.Fifo_lossy ~domain ~window

@@ -1,0 +1,29 @@
+(** Go-Back-N — the classic sliding-window data-link protocol.
+
+    Sits between the Alternating Bit protocol (window 1, two headers)
+    and Stenning's protocol (unbounded headers) in the design space the
+    paper's bounds carve up: headers are sequence numbers modulo
+    [window + 1], frames carry [(seq mod M, data)], acknowledgements
+    are cumulative ([next expected seq] modulo [M]), and the sender
+    keeps up to [window] frames outstanding, cycling retransmissions
+    through them.
+
+    Correct over FIFO channels with loss (the textbook setting — the
+    modulus [M = window + 1] is exactly what FIFO order makes
+    sufficient).  Over reordering channels its finite header space
+    makes it one more victim of the paper's theorems: a stale frame
+    whose sequence number collides modulo [M] is accepted as new.  The
+    attack searcher finds the collision; E7 measures the pipelining
+    benefit the window buys on its home channel. *)
+
+val protocol :
+  domain:int -> window:int -> Kernel.Protocol.t
+(** [protocol ~domain ~window] over {!Channel.Chan.Fifo_lossy}.
+    Sender alphabet [(window+1)·domain]; receiver alphabet
+    [window+1].
+    @raise Invalid_argument if [window < 1]. *)
+
+val protocol_on :
+  Channel.Chan.kind -> domain:int -> window:int -> Kernel.Protocol.t
+(** The same machines on another channel — the attack-experiment
+    configuration. *)

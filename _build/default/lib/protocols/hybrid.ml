@@ -1,0 +1,134 @@
+open Kernel
+module Xset = Seqspace.Xset
+
+let recovery_symbol_a ~domain = 2 * domain
+let recovery_symbol_b ~domain = (2 * domain) + 1
+let recovery_echo = 2
+
+let rank_of xset x =
+  let rec find i = function
+    | [] -> None
+    | y :: rest -> if y = x then Some i else find (i + 1) rest
+  in
+  find 0 (Xset.to_list xset)
+
+type sender_mode =
+  | S_abp of { next : int; bit : int; outstanding : bool; idle_wakes : int }
+  | S_ladder of { sent_a : int; sent_b : int; got_y : int }
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  timeout : int;
+  k : int; (* rank of the full input, for recovery *)
+  w : int;
+  mode : sender_mode;
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match (s.mode, event) with
+  | S_abp a, Event.Wake ->
+      if a.next >= n then (s, [])
+      else if not a.outstanding then
+        ( { s with mode = S_abp { a with outstanding = true; idle_wakes = 0 } },
+          [ Action.Send ((a.bit * s.domain) + s.input.(a.next)) ] )
+      else if a.idle_wakes + 1 >= s.timeout then
+        (* Fault detected: abandon ABP, start the recovery ladder. *)
+        ({ s with mode = S_ladder { sent_a = 0; sent_b = 0; got_y = 0 } }, [])
+      else ({ s with mode = S_abp { a with idle_wakes = a.idle_wakes + 1 } }, [])
+  | S_abp a, Event.Deliver ack ->
+      if ack = a.bit && a.outstanding then
+        ( { s with mode = S_abp { next = a.next + 1; bit = 1 - a.bit; outstanding = false; idle_wakes = 0 } },
+          [] )
+      else (s, [])
+  | S_ladder l, Event.Deliver m ->
+      if m = recovery_echo then ({ s with mode = S_ladder { l with got_y = l.got_y + 1 } }, [])
+      else (s, []) (* stale ABP acknowledgement *)
+  | S_ladder l, Event.Wake ->
+      if l.got_y > (s.k - 1) * s.w then begin
+        if l.sent_b < s.w then
+          ( { s with mode = S_ladder { l with sent_b = l.sent_b + 1 } },
+            [ Action.Send (recovery_symbol_b ~domain:s.domain) ] )
+        else (s, [])
+      end
+      else if l.sent_a < s.k * s.w then
+        ( { s with mode = S_ladder { l with sent_a = l.sent_a + 1 } },
+          [ Action.Send (recovery_symbol_a ~domain:s.domain) ] )
+      else (s, [])
+
+type receiver_state = {
+  r_domain : int;
+  r_w : int;
+  expected : int;
+  written : int;
+  in_recovery : bool;
+  got_a : int;
+  decoded : bool;
+}
+
+let receiver_step xset r event =
+  match event with
+  | Event.Wake -> (r, [])
+  | Event.Deliver m ->
+      let sym_a = recovery_symbol_a ~domain:r.r_domain in
+      let sym_b = recovery_symbol_b ~domain:r.r_domain in
+      if m = sym_a then
+        ({ r with in_recovery = true; got_a = r.got_a + 1 }, [ Action.Send recovery_echo ])
+      else if m = sym_b then begin
+        if r.decoded then (r, [])
+        else begin
+          let k = (r.got_a + r.r_w - 1) / r.r_w in
+          let x = List.nth (Xset.to_list xset) k in
+          let suffix = List.filteri (fun i _ -> i >= r.written) x in
+          ( { r with decoded = true; written = List.length x },
+            List.map (fun d -> Action.Write d) suffix )
+        end
+      end
+      else if r.in_recovery then (r, []) (* stale ABP data message *)
+      else begin
+        let bit = m / r.r_domain and data = m mod r.r_domain in
+        if bit = r.expected then
+          ( { r with expected = 1 - r.expected; written = r.written + 1 },
+            [ Action.Write data; Action.Send bit ] )
+        else (r, [ Action.Send bit ])
+      end
+
+let protocol ~xset ~domain ~drop_budget ?(timeout = 8) () =
+  let w = Ladder.window ~drop_budget in
+  {
+    Protocol.name = Printf.sprintf "hybrid(d=%d,B=%d,T=%d)" domain drop_budget timeout;
+    sender_alphabet = (2 * domain) + 2;
+    receiver_alphabet = 3;
+    channel = Channel.Chan.Reorder_del;
+    make_sender =
+      (fun ~input ->
+        match rank_of xset (Array.to_list input) with
+        | None -> invalid_arg "Hybrid.protocol: input not in the allowable set"
+        | Some k ->
+            Proc.make
+              ~state:
+                {
+                  input;
+                  domain;
+                  timeout;
+                  k;
+                  w;
+                  mode = S_abp { next = 0; bit = 0; outstanding = false; idle_wakes = 0 };
+                }
+              ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make
+          ~state:
+            {
+              r_domain = domain;
+              r_w = w;
+              expected = 0;
+              written = 0;
+              in_recovery = false;
+              got_a = 0;
+              decoded = false;
+            }
+          ~step:(receiver_step xset) ());
+  }

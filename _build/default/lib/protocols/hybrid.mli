@@ -1,0 +1,52 @@
+(** The §5 hybrid protocol: Alternating Bit ⊕ unbounded recovery.
+
+    §5 of the paper exhibits a protocol that is *weakly bounded* (in
+    the [LMF88] sense) yet "clearly has runs that never fully recover
+    from faults", to argue that weak boundedness is too permissive and
+    motivate Definition 2.  The construction: transmit with an
+    Alternating Bit protocol under an assumed global clock; when a
+    process fails to receive a message in time, switch to the
+    [AFWZ89] protocol on a fresh message alphabet, under which the
+    receiver learns the rest of the sequence only after a number of
+    steps that depends on the whole input, not on the next item's
+    index ("when [t_i] is obtained, so are all the [t_j]'s").
+
+    This module reproduces that shape: ABP in normal mode (one
+    outstanding message, no retransmission, a wake-count timeout
+    standing in for the paper's global clock); on timeout the sender
+    switches to the counting-ladder protocol ({!Ladder}) on disjoint
+    symbols, which communicates the rank of the entire input; the
+    receiver then writes the remaining suffix all at once.
+
+    The protocol is weakly bounded — between faults each new item
+    costs O(1) steps, and the recovery, once finished, yields *all*
+    remaining [t_j] simultaneously — but not bounded: a single fault
+    right after [t_i] forces a recovery of length [Θ(rank(X)·W)],
+    which no function [f(i)] of the item index can bound.  Experiment
+    E5 measures exactly this. *)
+
+val protocol :
+  xset:Seqspace.Xset.t ->
+  domain:int ->
+  drop_budget:int ->
+  ?timeout:int ->
+  unit ->
+  Kernel.Protocol.t
+(** [protocol ~xset ~domain ~drop_budget ()] — inputs come from
+    [xset] over [\[0, domain)].  Sender alphabet [2·domain + 2]
+    (ABP data messages plus the ladder's [a]/[b]); receiver alphabet 3
+    (two ABP acknowledgements plus the ladder's echo).  [timeout]
+    (default 8) is the number of fruitless wake-ups after which a
+    process declares a fault.
+
+    The ABP phase assumes the §5 synchrony (no adversarial
+    reordering before the first fault); drive it with FIFO-like
+    schedules as E5 does. *)
+
+val recovery_symbol_a : domain:int -> int
+(** Wire symbol of the ladder's [a] in the combined alphabet. *)
+
+val recovery_symbol_b : domain:int -> int
+
+val recovery_echo : int
+(** Wire symbol of the ladder's echo in the receiver alphabet. *)

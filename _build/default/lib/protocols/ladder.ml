@@ -1,0 +1,81 @@
+open Kernel
+module Xset = Seqspace.Xset
+
+let sym_a = 0
+let sym_b = 1
+let sym_y = 0
+
+let window ~drop_budget = (2 * drop_budget) + 1
+
+let rank_of xset x =
+  let rec find i = function
+    | [] -> None
+    | y :: rest -> if y = x then Some i else find (i + 1) rest
+  in
+  find 0 (Xset.to_list xset)
+
+type sender_state = {
+  k : int; (* rank of the input in the enumeration of 𝒳 *)
+  w : int;
+  sent_a : int;
+  sent_b : int;
+  got_y : int;
+}
+
+let sender_step s event =
+  match event with
+  | Event.Deliver m -> if m = sym_y then ({ s with got_y = s.got_y + 1 }, []) else (s, [])
+  | Event.Wake ->
+      if s.got_y > (s.k - 1) * s.w then begin
+        (* Phase 2: the receiver provably holds > (k−1)·W copies of a. *)
+        if s.sent_b < s.w then ({ s with sent_b = s.sent_b + 1 }, [ Action.Send sym_b ])
+        else (s, [])
+      end
+      else if s.sent_a < s.k * s.w then
+        ({ s with sent_a = s.sent_a + 1 }, [ Action.Send sym_a ])
+      else (s, []) (* cap reached: wait for echoes still in flight *)
+
+type receiver_state = {
+  r_w : int;
+  got_a : int;
+  decoded : bool;
+}
+
+let receiver_step xset r event =
+  match event with
+  | Event.Wake -> (r, [])
+  | Event.Deliver m ->
+      if m = sym_a then ({ r with got_a = r.got_a + 1 }, [ Action.Send sym_y ])
+      else if r.decoded then (r, [])
+      else begin
+        (* First terminator: (k−1)·W < got_a ≤ k·W, so k is exact. *)
+        let k = (r.got_a + r.r_w - 1) / r.r_w in
+        let x = List.nth (Xset.to_list xset) k in
+        ({ r with decoded = true }, List.map (fun d -> Action.Write d) x)
+      end
+
+let protocol ~xset ~drop_budget =
+  let w = window ~drop_budget in
+  {
+    Protocol.name = Printf.sprintf "ladder(B=%d)" drop_budget;
+    sender_alphabet = 2;
+    receiver_alphabet = 1;
+    channel = Channel.Chan.Reorder_del;
+    make_sender =
+      (fun ~input ->
+        match rank_of xset (Array.to_list input) with
+        | None -> invalid_arg "Ladder.protocol: input not in the allowable set"
+        | Some k ->
+            Proc.make ~state:{ k; w; sent_a = 0; sent_b = 0; got_y = 0 } ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make ~state:{ r_w = w; got_a = 0; decoded = false } ~step:(receiver_step xset) ());
+  }
+
+let expected_learning_steps ~xset ~drop_budget x =
+  let w = window ~drop_budget in
+  match rank_of xset x with
+  | None -> invalid_arg "Ladder.expected_learning_steps: input not in the allowable set"
+  | Some k ->
+      (* k·W copies of a out, k·W echoes back, one terminator. *)
+      (2 * k * w) + 1

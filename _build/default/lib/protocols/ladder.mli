@@ -1,0 +1,59 @@
+(** An unbounded solution to [𝒳]-STP(del) for countable [𝒳] —
+    a reconstruction of the AFWZ89 protocol's role in the paper.
+
+    §4 and §5 of the paper lean on a protocol from [AFWZ89] ("Reliable
+    communication using unreliable channels", manuscript, 1989) that
+    solves [𝒳]-STP(del) for countable [𝒳] with a finite alphabet but
+    is *unbounded*: the time the receiver needs to learn the next data
+    item depends on the history of the run (and on the length of the
+    input), not on the item's index.  The manuscript is not available
+    to us, so this module implements a protocol with the same
+    interface and the same properties, built from the one resource a
+    reorder+delete channel cannot corrupt: {b counts} (a deletion
+    channel never duplicates, so receiving [j] copies of a symbol
+    certifies that at least [j] were sent).
+
+    Mechanism ("counting ladder").  Fix an enumeration of [𝒳]; the
+    sender's input has rank [k].  Let [W = 2B + 1] where [B] bounds
+    the number of copies the channel may delete in a run.
+    - Sender, phase 1: send copies of symbol [a], never exceeding a
+      lifetime cap of [k·W] copies.
+    - Receiver: echo one copy of [y] per received [a] (so its [y]
+      output never exceeds its [a] intake — an unforgeable count
+      certificate).
+    - Sender, phase 2 (entered once it has received more than
+      [(k−1)·W] echoes, which certifies the receiver already holds
+      more than [(k−1)·W] copies of [a]): send up to [W] copies of a
+      terminator symbol [b].
+    - Receiver, on the first [b]: it now knows
+      [(k−1)·W < count(a) ≤ k·W], so [k = ⌈count(a)/W⌉] exactly; it
+      decodes [k], writes the rank-[k] sequence, and is done.
+
+    Safety is unconditional (the two count bounds hold in every run of
+    a non-duplicating channel).  Liveness holds in every fair run with
+    at most [B] deletions.  The learning time is [Θ(rank(X)·W)] steps
+    — growing with the input's rank and the deletion budget, and all
+    items are learned at once (compare §5: "when [t_i] is obtained, so
+    are all the [t_j]'s for every [j ≥ i]").  This is precisely the
+    unboundedness the paper contrasts with Definition 2, and what
+    experiments E4/E5 measure.
+
+    Substitution note (recorded in DESIGN.md): the deletion budget [B]
+    is a parameter of the run universe here, whereas [AFWZ89] handles
+    unrestricted deletion with a cleverer scheme; the properties the
+    *present* paper uses — existence, finite alphabet, unboundedness —
+    are preserved. *)
+
+val protocol : xset:Seqspace.Xset.t -> drop_budget:int -> Kernel.Protocol.t
+(** [protocol ~xset ~drop_budget] transmits members of [xset]; sender
+    alphabet [{a, b}] (2 symbols), receiver alphabet [{y}] (1 symbol).
+    @raise Invalid_argument at sender construction if the input is not
+    in [xset]. *)
+
+val window : drop_budget:int -> int
+(** [window ~drop_budget] is [W = 2·drop_budget + 1]. *)
+
+val expected_learning_steps : xset:Seqspace.Xset.t -> drop_budget:int -> int list -> int
+(** [expected_learning_steps ~xset ~drop_budget x] is the ideal-schedule
+    message count before the receiver can decode [x] — the
+    [Θ(rank·W)] cost E5 plots. *)

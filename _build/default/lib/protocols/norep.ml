@@ -1,0 +1,46 @@
+open Kernel
+
+module IntSet = Set.Make (Int)
+
+type sender_state = {
+  input : int array;
+  next : int; (* index of the item awaiting acknowledgement *)
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake ->
+      if s.next < n then (s, [ Action.Send s.input.(s.next) ]) else (s, [])
+  | Event.Deliver ack ->
+      if s.next < n && ack = s.input.(s.next) then ({ s with next = s.next + 1 }, [])
+      else (s, [])
+
+type receiver_state = {
+  seen : IntSet.t; (* symbols received so far *)
+  last : int option; (* most recent fresh symbol, re-acknowledged on wake *)
+}
+
+let receiver_step r event =
+  match event with
+  | Event.Deliver d ->
+      if IntSet.mem d r.seen then (r, [ Action.Send d ]) (* stale: re-ack only *)
+      else ({ seen = IntSet.add d r.seen; last = Some d }, [ Action.Write d; Action.Send d ])
+  | Event.Wake -> (
+      match r.last with Some d -> (r, [ Action.Send d ]) | None -> (r, []))
+
+let make ~name ~channel ~m =
+  {
+    Protocol.name;
+    sender_alphabet = m;
+    receiver_alphabet = m;
+    channel;
+    make_sender =
+      (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:sender_step ());
+    make_receiver =
+      (fun () -> Proc.make ~state:{ seen = IntSet.empty; last = None } ~step:receiver_step ());
+  }
+
+let dup ~m = make ~name:(Printf.sprintf "norep-dup(m=%d)" m) ~channel:Channel.Chan.Reorder_dup ~m
+
+let del ~m = make ~name:(Printf.sprintf "norep-del(m=%d)" m) ~channel:Channel.Chan.Reorder_del ~m

@@ -1,0 +1,33 @@
+(** The paper's tight protocols (§3 and end of §4).
+
+    Domain [D = {0,…,m−1}]; allowable set [𝒳] = all repetition-free
+    sequences over [D] — exactly [α(m)] of them, meeting the bound of
+    Theorems 1 and 2.  Both alphabets equal [D].
+
+    Sender: transmit the data items in order; wait for the matching
+    acknowledgement before moving to the next (re-sending the current
+    item while waiting — harmless on dup channels, necessary on del
+    channels).  Receiver: a message symbol never seen before is the
+    next data item — write it and acknowledge it; previously seen
+    symbols are stale copies and are re-acknowledged only.
+
+    Why reordering is harmless: the sender first sends item [i+1] only
+    after receiving an acknowledgement for item [i], which the
+    receiver first sent only after first receiving item [i]; so the
+    *first* arrival of each fresh symbol happens in input order, and
+    freshness is exactly what the receiver keys on.  Why duplication
+    is harmless: duplicates are never fresh.  Why deletion is
+    harmless: both sides persistently re-send their current symbol,
+    and re-sent copies carry the same symbol, so they can never be
+    mistaken for progress.
+
+    The protocol is finite-state (as the paper notes) and, over
+    deletion channels, bounded in the sense of Definition 2: from any
+    point, a cooperative schedule lets the receiver learn the next
+    item within a constant number of steps. *)
+
+val dup : m:int -> Kernel.Protocol.t
+(** The §3 instance, targeting {!Channel.Chan.Reorder_dup}. *)
+
+val del : m:int -> Kernel.Protocol.t
+(** The §4 instance, targeting {!Channel.Chan.Reorder_del}. *)

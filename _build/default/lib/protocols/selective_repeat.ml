@@ -1,0 +1,125 @@
+open Kernel
+
+module IntMap = Map.Make (Int)
+
+(* Wire format: frame for item [i] is [(i mod M)·domain + x_i];
+   acknowledgement [a] confirms the single frame whose sequence number
+   is ≡ a (mod M) within the sender's window. *)
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  window : int;
+  modulus : int;
+  base : int; (* lowest unacknowledged item *)
+  acked : bool IntMap.t; (* absolute index -> acknowledged, for [base, base+window) *)
+  cursor : int; (* retransmission rotation *)
+}
+
+let rec advance_base s =
+  match IntMap.find_opt s.base s.acked with
+  | Some true -> advance_base { s with base = s.base + 1; acked = IntMap.remove s.base s.acked }
+  | Some false | None -> s
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake ->
+      if s.base >= n then (s, [])
+      else begin
+        let hi = min (s.base + s.window) n in
+        (* Send the next unacknowledged frame in the window, rotating. *)
+        let candidates =
+          List.filter
+            (fun i -> not (Option.value ~default:false (IntMap.find_opt i s.acked)))
+            (List.init (hi - s.base) (fun k -> s.base + k))
+        in
+        match candidates with
+        | [] -> (s, [])
+        | _ ->
+            let pick =
+              match List.filter (fun i -> i >= s.cursor) candidates with
+              | i :: _ -> i
+              | [] -> List.hd candidates
+            in
+            ( { s with cursor = pick + 1 },
+              [ Action.Send ((pick mod s.modulus * s.domain) + s.input.(pick)) ] )
+      end
+  | Event.Deliver a ->
+      if s.base >= n then (s, [])
+      else begin
+        let hi = min (s.base + s.window) n in
+        let matching =
+          List.find_opt
+            (fun i -> i mod s.modulus = a)
+            (List.init (hi - s.base) (fun k -> s.base + k))
+        in
+        match matching with
+        | Some i -> (advance_base { s with acked = IntMap.add i true s.acked }, [])
+        | None -> (s, [])
+      end
+
+type receiver_state = {
+  r_domain : int;
+  r_window : int;
+  r_modulus : int;
+  expected : int; (* absolute count of in-order items written *)
+  buffer : int IntMap.t; (* absolute index -> data, within (expected, expected+window) *)
+}
+
+let rec flush r writes =
+  match IntMap.find_opt r.expected r.buffer with
+  | Some data ->
+      flush
+        { r with expected = r.expected + 1; buffer = IntMap.remove r.expected r.buffer }
+        (Action.Write data :: writes)
+  | None -> (r, List.rev writes)
+
+let receiver_step r event =
+  match event with
+  | Event.Deliver frame ->
+      let seq = frame / r.r_domain and data = frame mod r.r_domain in
+      let offset = (seq - (r.expected mod r.r_modulus) + r.r_modulus) mod r.r_modulus in
+      if offset < r.r_window then begin
+        (* Within the receive window: buffer, flush, ack. *)
+        let r = { r with buffer = IntMap.add (r.expected + offset) data r.buffer } in
+        let r, writes = flush r [] in
+        (r, writes @ [ Action.Send seq ])
+      end
+      else
+        (* A retransmission of an already-delivered frame (assuming the
+           2·window sequence space): re-acknowledge it. *)
+        (r, [ Action.Send seq ])
+  | Event.Wake -> (r, [])
+
+let protocol_mod channel ~domain ~window ~modulus =
+  if window < 1 then invalid_arg "Selective_repeat.protocol: window must be >= 1";
+  if modulus <= window then invalid_arg "Selective_repeat.protocol: modulus must exceed window";
+  {
+    Protocol.name =
+      Printf.sprintf "selective-repeat(w=%d,M=%d,d=%d,%s)" window modulus domain
+        (Channel.Chan.kind_name channel);
+    sender_alphabet = modulus * domain;
+    receiver_alphabet = modulus;
+    channel;
+    make_sender =
+      (fun ~input ->
+        Proc.make
+          ~state:{ input; domain; window; modulus; base = 0; acked = IntMap.empty; cursor = 0 }
+          ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make
+          ~state:
+            {
+              r_domain = domain;
+              r_window = window;
+              r_modulus = modulus;
+              expected = 0;
+              buffer = IntMap.empty;
+            }
+          ~step:receiver_step ());
+  }
+
+let protocol ~domain ~window =
+  protocol_mod Channel.Chan.Fifo_lossy ~domain ~window ~modulus:(2 * window)

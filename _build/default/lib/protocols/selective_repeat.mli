@@ -1,0 +1,28 @@
+(** Selective Repeat — the buffering sliding-window protocol.
+
+    Go-Back-N discards out-of-order frames; Selective Repeat buffers
+    them.  Frames carry [(seq mod M, data)]; the receiver accepts any
+    frame within its [window]-wide receive window, buffers it, writes
+    the contiguous prefix, and acknowledges the specific frame (not
+    cumulatively).  The sender retransmits only unacknowledged frames.
+
+    The textbook constraint: the sequence space must satisfy
+    [M ≥ 2·window], because after the receiver's window slides, the
+    old and new windows must not overlap modulo [M] — otherwise a
+    retransmitted old frame is mistaken for a new one.  [protocol]
+    uses the safe [M = 2·window]; [protocol_mod] exposes [M] so the
+    attack search can exhibit the classic failure at
+    [window < M < 2·window] (experiment rows in E2/E3's spirit; see
+    the test suite's [sr breaks with small modulus]).
+
+    Like every finite-header protocol it falls to the paper's theorems
+    under unbounded reordering; its home is {!Channel.Chan.Fifo_lossy}. *)
+
+val protocol : domain:int -> window:int -> Kernel.Protocol.t
+(** [M = 2·window] over {!Channel.Chan.Fifo_lossy}.  Sender alphabet
+    [2·window·domain], receiver alphabet [2·window].
+    @raise Invalid_argument if [window < 1]. *)
+
+val protocol_mod :
+  Channel.Chan.kind -> domain:int -> window:int -> modulus:int -> Kernel.Protocol.t
+(** Explicit sequence space; [modulus > window] required. *)

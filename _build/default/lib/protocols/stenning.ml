@@ -1,0 +1,47 @@
+open Kernel
+
+(* Wire format: data message for item [i] (0-based) is [i·domain + x_i];
+   acknowledgement [k] means "items 0..k−1 all received". *)
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  next : int; (* lowest unacknowledged item *)
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  match event with
+  | Event.Wake ->
+      if s.next < n then (s, [ Action.Send ((s.next * s.domain) + s.input.(s.next)) ])
+      else (s, [])
+  | Event.Deliver ack -> if ack > s.next then ({ s with next = ack }, []) else (s, [])
+
+type receiver_state = {
+  r_domain : int;
+  got : int; (* number of in-order items written *)
+}
+
+let receiver_step r event =
+  match event with
+  | Event.Deliver m ->
+      let seq = m / r.r_domain and data = m mod r.r_domain in
+      if seq = r.got then ({ r with got = r.got + 1 }, [ Action.Write data; Action.Send (r.got + 1) ])
+      else (r, [ Action.Send r.got ])
+  | Event.Wake -> if r.got > 0 then (r, [ Action.Send r.got ]) else (r, [])
+
+let protocol_on channel ~domain ~max_len =
+  {
+    Protocol.name =
+      Printf.sprintf "stenning(d=%d,n<=%d,%s)" domain max_len (Channel.Chan.kind_name channel);
+    sender_alphabet = max 1 (max_len * domain);
+    receiver_alphabet = max_len + 1;
+    channel;
+    make_sender =
+      (fun ~input ->
+        assert (Array.length input <= max_len);
+        Proc.make ~state:{ input; domain; next = 0 } ~step:sender_step ());
+    make_receiver = (fun () -> Proc.make ~state:{ r_domain = domain; got = 0 } ~step:receiver_step ());
+  }
+
+let protocol ~domain ~max_len = protocol_on Channel.Chan.Reorder_del ~domain ~max_len

@@ -1,0 +1,22 @@
+(** Stenning's protocol ([Ste76]) — unbounded sequence numbers.
+
+    Data messages carry [(seq, data)]; acknowledgements carry the
+    highest in-order sequence number received.  Correct over channels
+    that reorder, delete *and* duplicate, for every input set — but
+    only because its alphabet grows with the input: for an input of
+    length [n] over domain [d], the sender alphabet is [n·d] and the
+    receiver alphabet is [n+1].
+
+    The protocol exists here as the baseline illuminating the
+    theorems: the paper's bounds say that *finite* alphabets cap
+    [|𝒳|] at [α(m)]; Stenning escapes the cap exactly by not having a
+    finite alphabet (its per-instance alphabet is finite but grows
+    unboundedly with the sequences transmitted, i.e. there is no
+    single pair of protocols with fixed [M^S], [M^R]).  Experiment E7
+    measures what the escape costs in header bits. *)
+
+val protocol : domain:int -> max_len:int -> Kernel.Protocol.t
+(** [protocol ~domain ~max_len] handles inputs of length at most
+    [max_len]; the declared alphabets are sized accordingly. *)
+
+val protocol_on : Channel.Chan.kind -> domain:int -> max_len:int -> Kernel.Protocol.t

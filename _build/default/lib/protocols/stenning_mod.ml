@@ -1,0 +1,51 @@
+open Kernel
+
+(* Wire format: data message for item [i] is [(i mod header_space)·domain + x_i];
+   acknowledgement [j] means "an item with header [j] was just accepted". *)
+
+type sender_state = {
+  input : int array;
+  domain : int;
+  hs : int;
+  next : int;
+}
+
+let sender_step s event =
+  let n = Array.length s.input in
+  let header i = i mod s.hs in
+  match event with
+  | Event.Wake ->
+      if s.next < n then (s, [ Action.Send ((header s.next * s.domain) + s.input.(s.next)) ])
+      else (s, [])
+  | Event.Deliver ack -> if s.next < n && ack = header s.next then ({ s with next = s.next + 1 }, []) else (s, [])
+
+type receiver_state = {
+  r_domain : int;
+  r_hs : int;
+  got : int;
+}
+
+let receiver_step r event =
+  let expected = r.got mod r.r_hs in
+  match event with
+  | Event.Deliver m ->
+      let h = m / r.r_domain and data = m mod r.r_domain in
+      if h = expected then ({ r with got = r.got + 1 }, [ Action.Write data; Action.Send h ])
+      else (r, [ Action.Send ((r.got - 1 + r.r_hs) mod r.r_hs) ])
+  | Event.Wake ->
+      if r.got > 0 then (r, [ Action.Send ((r.got - 1) mod r.r_hs) ]) else (r, [])
+
+let protocol_on channel ~domain ~header_space =
+  {
+    Protocol.name =
+      Printf.sprintf "stenning-mod(d=%d,h=%d,%s)" domain header_space
+        (Channel.Chan.kind_name channel);
+    sender_alphabet = header_space * domain;
+    receiver_alphabet = header_space;
+    channel;
+    make_sender =
+      (fun ~input -> Proc.make ~state:{ input; domain; hs = header_space; next = 0 } ~step:sender_step ());
+    make_receiver =
+      (fun () ->
+        Proc.make ~state:{ r_domain = domain; r_hs = header_space; got = 0 } ~step:receiver_step ());
+  }

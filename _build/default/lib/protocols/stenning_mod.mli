@@ -1,0 +1,12 @@
+(** Stenning's protocol with bounded headers — the [LMF88] victim.
+
+    Identical to {!Stenning} except sequence numbers are taken modulo
+    a fixed [header_space], making the alphabet genuinely finite:
+    [|M^S| = header_space · domain].  Lynch–Mansour–Fekete (and, in
+    the sharper counting form, this paper) prove such a protocol
+    cannot transmit all sequences over reordering channels: two items
+    whose indices collide modulo [header_space] are indistinguishable
+    to the receiver once the channel holds an old copy.  The product
+    attack search of E2/E3 finds the collision automatically. *)
+
+val protocol_on : Channel.Chan.kind -> domain:int -> header_space:int -> Kernel.Protocol.t

@@ -1,0 +1,24 @@
+open Kernel
+
+type sender_state = { input : int array; next : int }
+
+let sender_step s event =
+  match event with
+  | Event.Wake when s.next < Array.length s.input ->
+      ({ s with next = s.next + 1 }, [ Action.Send s.input.(s.next) ])
+  | Event.Wake | Event.Deliver _ -> (s, [])
+
+let receiver_step () event =
+  match event with
+  | Event.Deliver d -> ((), [ Action.Write d ])
+  | Event.Wake -> ((), [])
+
+let protocol ~domain =
+  {
+    Protocol.name = "trivial";
+    sender_alphabet = domain;
+    receiver_alphabet = 1;
+    channel = Channel.Chan.Perfect;
+    make_sender = (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:sender_step ());
+    make_receiver = (fun () -> Proc.make ~state:() ~step:receiver_step ());
+  }

@@ -1,0 +1,11 @@
+(** The trivial protocol for perfect channels (§1).
+
+    With a channel that preserves order and loses nothing, the sender
+    simply sends each data item once, in order, and the receiver
+    writes every delivery.  Solves [𝒳]-STP for every [𝒳] over the
+    domain — the baseline showing that all difficulty comes from the
+    channel. *)
+
+val protocol : domain:int -> Kernel.Protocol.t
+(** [protocol ~domain] transmits sequences over [\[0, domain)];
+    sender alphabet is [domain]. *)

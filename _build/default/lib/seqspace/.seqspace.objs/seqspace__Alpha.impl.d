@@ -1,0 +1,1 @@
+lib/seqspace/alpha.ml: Float List Printf Stdx

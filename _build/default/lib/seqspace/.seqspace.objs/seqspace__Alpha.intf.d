@@ -1,0 +1,1 @@
+lib/seqspace/alpha.mli: Stdx

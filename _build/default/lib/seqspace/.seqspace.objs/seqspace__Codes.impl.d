@@ -1,0 +1,1 @@
+lib/seqspace/codes.ml: Array Format Fun Int List Map Option

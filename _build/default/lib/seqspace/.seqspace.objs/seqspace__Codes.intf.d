@@ -1,0 +1,1 @@
+lib/seqspace/codes.mli: Format

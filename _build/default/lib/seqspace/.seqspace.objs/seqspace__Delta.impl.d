@@ -1,0 +1,1 @@
+lib/seqspace/delta.ml: Alpha Array Stdx

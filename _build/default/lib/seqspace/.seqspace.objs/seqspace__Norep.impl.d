@@ -1,0 +1,1 @@
+lib/seqspace/norep.ml: Array Fun List Stdx

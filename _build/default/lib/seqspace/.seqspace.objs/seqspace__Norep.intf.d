@@ -1,0 +1,1 @@
+lib/seqspace/norep.mli: Stdx

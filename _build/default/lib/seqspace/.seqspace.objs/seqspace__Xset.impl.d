@@ -1,0 +1,1 @@
+lib/seqspace/xset.ml: Alpha Format Fun List Norep Stdx

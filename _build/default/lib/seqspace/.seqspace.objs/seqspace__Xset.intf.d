@@ -1,0 +1,1 @@
+lib/seqspace/xset.mli: Format Stdx

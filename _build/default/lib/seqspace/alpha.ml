@@ -1,0 +1,33 @@
+module B = Stdx.Bignat
+
+let permutations m k =
+  if k < 0 || m < 0 || k > m then B.zero
+  else begin
+    (* P(m,k) = m·(m−1)·…·(m−k+1) *)
+    let rec go acc i = if i >= k then acc else go (B.mul_int acc (m - i)) (i + 1) in
+    go B.one 0
+  end
+
+let alpha m =
+  if m < 0 then invalid_arg "Alpha.alpha: negative";
+  let rec go acc k = if k > m then acc else go (B.add acc (permutations m k)) (k + 1) in
+  go B.zero 0
+
+let alpha_bounded ~m ~max_len =
+  if m < 0 || max_len < 0 then invalid_arg "Alpha.alpha_bounded: negative";
+  let upper = min m max_len in
+  let rec go acc k = if k > upper then acc else go (B.add acc (permutations m k)) (k + 1) in
+  go B.zero 0
+
+let alpha_int m = B.to_int (alpha m)
+
+let alpha_exn m =
+  match alpha_int m with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "Alpha.alpha_exn: alpha(%d) overflows int" m)
+
+let table m_max = List.init (m_max + 1) (fun m -> (m, alpha m))
+
+let e_times_fact m =
+  let rec fact acc i = if i > m then acc else fact (acc *. float_of_int i) (i + 1) in
+  Float.exp 1.0 *. fact 1.0 1

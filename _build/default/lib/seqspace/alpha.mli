@@ -1,0 +1,40 @@
+(** The bound [α(m)] of Wang & Zuck (1989).
+
+    [α(m) = m! · Σ_{k=0}^{m} 1/k! = Σ_{k=0}^{m} m!/(m−k)!] is the
+    number of repetition-free sequences (including the empty one) over
+    an alphabet of [m] symbols.  Theorems 1 and 2 of the paper state
+    that [α(|M^S|)] is a tight bound on the number of distinct
+    sequences any solution to [X]-STP(dup), or any *bounded* solution
+    to [X]-STP(del), can transmit. *)
+
+val permutations : int -> int -> Stdx.Bignat.t
+(** [permutations m k] is [P(m,k) = m!/(m−k)!], the number of
+    repetition-free sequences of length exactly [k] over [m] symbols.
+    Zero when [k > m] or either argument is negative. *)
+
+val alpha : int -> Stdx.Bignat.t
+(** [alpha m] is [α(m)], exactly.  [alpha 0 = 1] (the empty sequence).
+    @raise Invalid_argument if [m < 0]. *)
+
+val alpha_int : int -> int option
+(** [alpha_int m] is [α(m)] as a machine integer when it fits,
+    [None] otherwise (first overflow at [m = 20] on 64-bit). *)
+
+val alpha_exn : int -> int
+(** Like {!alpha_int} but raises [Failure] on overflow.  Convenience
+    for the small [m] used throughout the experiments. *)
+
+val alpha_bounded : m:int -> max_len:int -> Stdx.Bignat.t
+(** [alpha_bounded ~m ~max_len = Σ_{k ≤ min(m, max_len)} P(m,k)]: the
+    number of repetition-free sequences of length at most [max_len] —
+    the capacity bound that applies when the allowable set is
+    length-limited (e.g. {!Xset.All_upto} instances).
+    [alpha_bounded ~m ~max_len:m = alpha m]. *)
+
+val table : int -> (int * Stdx.Bignat.t) list
+(** [table m_max] is [(m, α(m))] for [m = 0 .. m_max] — the data behind
+    experiment E1's first two columns. *)
+
+val e_times_fact : int -> float
+(** [e_times_fact m] is the float [e·m!], the asymptotic value
+    [α(m) → e·m!]; used in E1 to display the ratio [α(m)/(e·m!)]. *)

@@ -1,0 +1,140 @@
+module IntMap = Map.Make (Int)
+
+type node = int (* index into the node table *)
+
+type node_record = {
+  by_data : (int * node) IntMap.t; (* data item -> (message symbol, child) *)
+  by_msg : (int * node) IntMap.t; (* message symbol -> (data item, child) *)
+  path : int list; (* message symbols from root to this node, root first *)
+}
+
+type t = { nodes : node_record array }
+
+type error =
+  | Too_many_children of { prefix : int list; needed : int; available : int }
+  | Duplicate_sequence of int list
+
+exception Build_failed of error
+
+(* Mutable trie used during construction. *)
+type draft = {
+  mutable children : (int * draft) list; (* (data, child), insertion order *)
+  mutable terminal : bool;
+}
+
+let new_draft () = { children = []; terminal = false }
+
+let insert_sequence root xs =
+  let rec go node = function
+    | [] ->
+        if node.terminal then raise (Build_failed (Duplicate_sequence xs));
+        node.terminal <- true
+    | d :: rest -> (
+        match List.assoc_opt d node.children with
+        | Some child -> go child rest
+        | None ->
+            let child = new_draft () in
+            node.children <- node.children @ [ (d, child) ];
+            go child rest)
+  in
+  go root xs
+
+let build ~m xs =
+  let droot = new_draft () in
+  match List.iter (insert_sequence droot) xs with
+  | exception Build_failed e -> Error e
+  | () -> (
+      (* Label edges: at each node, children take the smallest message
+         symbols unused on the root path, in data order.  Then freeze
+         into an array. *)
+      let records = ref [] in
+      let count = ref 0 in
+      let fresh_id () =
+        let id = !count in
+        incr count;
+        id
+      in
+      let rec freeze draft ~path ~used ~prefix =
+        let id = fresh_id () in
+        let needed = List.length draft.children in
+        let available = List.filter (fun s -> not (List.mem s used)) (List.init m Fun.id) in
+        if needed > List.length available then
+          raise
+            (Build_failed
+               (Too_many_children { prefix = List.rev prefix; needed; available = List.length available }));
+        let labelled =
+          List.map2
+            (fun (d, child) sym -> (d, sym, child))
+            (List.sort (fun (a, _) (b, _) -> Int.compare a b) draft.children)
+            (List.filteri (fun i _ -> i < needed) available)
+        in
+        let child_entries =
+          List.map
+            (fun (d, sym, child) ->
+              let cid =
+                freeze child ~path:(path @ [ sym ]) ~used:(sym :: used) ~prefix:(d :: prefix)
+              in
+              (d, sym, cid))
+            labelled
+        in
+        let by_data =
+          List.fold_left (fun acc (d, sym, cid) -> IntMap.add d (sym, cid) acc) IntMap.empty child_entries
+        in
+        let by_msg =
+          List.fold_left (fun acc (d, sym, cid) -> IntMap.add sym (d, cid) acc) IntMap.empty child_entries
+        in
+        records := (id, { by_data; by_msg; path }) :: !records;
+        id
+      in
+      match freeze droot ~path:[] ~used:[] ~prefix:[] with
+      | exception Build_failed e -> Error e
+      | root_id ->
+          assert (root_id = 0);
+          let nodes = Array.make !count { by_data = IntMap.empty; by_msg = IntMap.empty; path = [] } in
+          List.iter (fun (id, r) -> nodes.(id) <- r) !records;
+          Ok { nodes })
+
+let root (_ : t) : node = 0
+
+let step_by_data t n d = Option.map snd (IntMap.find_opt d t.nodes.(n).by_data)
+
+let step_by_msg t n s = Option.map snd (IntMap.find_opt s t.nodes.(n).by_msg)
+
+let msg_of_edge t n d = Option.map fst (IntMap.find_opt d t.nodes.(n).by_data)
+
+let data_of_edge t n s = Option.map fst (IntMap.find_opt s t.nodes.(n).by_msg)
+
+let encode t x =
+  let rec go n = function
+    | [] -> Some []
+    | d :: rest -> (
+        match IntMap.find_opt d t.nodes.(n).by_data with
+        | None -> None
+        | Some (sym, child) -> Option.map (fun tail -> sym :: tail) (go child rest))
+  in
+  go 0 x
+
+let decode t ms =
+  let rec go n = function
+    | [] -> Some []
+    | s :: rest -> (
+        match IntMap.find_opt s t.nodes.(n).by_msg with
+        | None -> None
+        | Some (d, child) -> Option.map (fun tail -> d :: tail) (go child rest))
+  in
+  go 0 ms
+
+let path_symbols t n = t.nodes.(n).path
+
+let size t = Array.length t.nodes
+
+let pp_error ppf = function
+  | Too_many_children { prefix; needed; available } ->
+      Format.fprintf ppf
+        "prefix [%a] needs %d distinct continuation symbols but only %d remain unused on its path"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Format.pp_print_int)
+        prefix needed available
+  | Duplicate_sequence xs ->
+      Format.fprintf ppf "sequence [%a] listed twice"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Format.pp_print_int)
+        xs

@@ -1,0 +1,71 @@
+(** Prefix-monotone repetition-free message codes — the [μ(X)] mapping.
+
+    The end of §3 of the paper observes that solving [X]-STP(dup)
+    requires mapping every input sequence [X ∈ 𝒳] to a message
+    sequence [μ(X)] over the sender alphabet such that (1) [μ(X)] is
+    repetition-free and (2) [μ(X₁)] is a prefix of [μ(X₂)] only when
+    [X₁] is a prefix of [X₂].  Such a mapping exists exactly when the
+    prefix tree of [𝒳] can be edge-labelled with message symbols so
+    that every root path is repetition-free and siblings get distinct
+    labels.
+
+    This module builds the labelling greedily over the prefix trie of
+    an explicit allowable set, reports precisely why it fails when
+    [𝒳] is too big, and exposes the trie to the generalized (coded)
+    protocol, which transmits arbitrary allowable sets of size up to
+    [α(m)]. *)
+
+type t
+(** A built code: a labelled prefix trie. *)
+
+type node
+(** A trie node; the root corresponds to the empty input prefix. *)
+
+type error =
+  | Too_many_children of { prefix : int list; needed : int; available : int }
+      (** The node for [prefix] has more outgoing data edges than
+          unused message symbols remain on its root path. *)
+  | Duplicate_sequence of int list
+      (** The allowable set listed the same sequence twice. *)
+
+val build : m:int -> int list list -> (t, error) result
+(** [build ~m xs] labels the prefix trie of [xs] with symbols from
+    [\[0, m)].  Every sequence of [xs] and every prefix of one becomes
+    a trie node (allowable sets are implicitly prefix-closed here:
+    transmitting [X] passes through its prefixes). *)
+
+val root : t -> node
+
+val step_by_data : t -> node -> int -> node option
+(** [step_by_data t n d] follows the outgoing edge whose *data* label
+    is [d] — the sender's view: next input item [d] selects the next
+    message symbol. *)
+
+val step_by_msg : t -> node -> int -> node option
+(** [step_by_msg t n μ] follows the outgoing edge whose *message*
+    label is [μ] — the receiver's view: a fresh message symbol selects
+    the next data item. *)
+
+val msg_of_edge : t -> node -> int -> int option
+(** [msg_of_edge t n d] is the message symbol labelling the data-[d]
+    edge out of [n], if any. *)
+
+val data_of_edge : t -> node -> int -> int option
+(** [data_of_edge t n μ] is the data item labelling the message-[μ]
+    edge out of [n], if any. *)
+
+val encode : t -> int list -> int list option
+(** [encode t x] is [μ(x)]: the message sequence along [x]'s path.
+    [None] when [x] is not a node of the trie. *)
+
+val decode : t -> int list -> int list option
+(** [decode t ms] inverts {!encode} along a root path. *)
+
+val path_symbols : t -> node -> int list
+(** Message symbols on the root path to [n] (root first) — by
+    construction repetition-free. *)
+
+val size : t -> int
+(** Number of nodes (= number of distinct prefixes of [𝒳]). *)
+
+val pp_error : Format.formatter -> error -> unit

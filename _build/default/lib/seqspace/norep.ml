@@ -1,0 +1,85 @@
+let is_norep xs =
+  let rec go seen = function
+    | [] -> true
+    | x :: rest -> (not (List.mem x seen)) && go (x :: seen) rest
+  in
+  go [] xs
+
+let is_over ~m xs = List.for_all (fun x -> x >= 0 && x < m) xs
+
+let perm_int m k =
+  (* P(m,k) in machine integers; raises on overflow. *)
+  let rec go acc i =
+    if i >= k then acc
+    else begin
+      let f = m - i in
+      if f <> 0 && acc > max_int / f then failwith "Norep: permutation count overflow";
+      go (acc * f) (i + 1)
+    end
+  in
+  if k > m then 0 else go 1 0
+
+let count ~m =
+  let rec go acc k = if k > m then acc else go (acc + perm_int m k) (k + 1) in
+  go 0 0
+
+let enumerate ~m =
+  (* Breadth-first by length; each level extends every sequence of the
+     previous level with every unused symbol, in ascending order.  The
+     resulting order is by length then lexicographic. *)
+  let extend xs = List.filter_map (fun s -> if List.mem s xs then None else Some (xs @ [ s ])) (List.init m Fun.id) in
+  let rec levels acc level k =
+    if k > m then List.concat (List.rev acc)
+    else begin
+      let next = List.concat_map extend level in
+      levels (next :: acc) next (k + 1)
+    end
+  in
+  levels [ [ [] ] ] [ [] ] 1
+
+let rank ~m xs =
+  if not (is_norep xs) then invalid_arg "Norep.rank: sequence repeats a symbol";
+  if not (is_over ~m xs) then invalid_arg "Norep.rank: symbol out of domain";
+  let k = List.length xs in
+  (* Offset of the length-k block. *)
+  let rec block_offset acc j = if j >= k then acc else block_offset (acc + perm_int m j) (j + 1) in
+  (* Lexicographic rank within the length-k block. *)
+  let rec lex acc used pos = function
+    | [] -> acc
+    | x :: rest ->
+        let smaller = List.length (List.filter (fun s -> s < x && not (List.mem s used)) (List.init m Fun.id)) in
+        let weight = perm_int (m - pos - 1) (k - pos - 1) in
+        lex (acc + (smaller * weight)) (x :: used) (pos + 1) rest
+  in
+  block_offset 0 0 + lex 0 [] 0 xs
+
+let unrank ~m idx =
+  if idx < 0 then invalid_arg "Norep.unrank: negative index";
+  (* Find the length block. *)
+  let rec find_block k off =
+    if k > m then invalid_arg "Norep.unrank: index out of range"
+    else begin
+      let sz = perm_int m k in
+      if idx < off + sz then (k, idx - off) else find_block (k + 1) (off + sz)
+    end
+  in
+  let k, within = find_block 0 0 in
+  let rec build used pos rem =
+    if pos >= k then []
+    else begin
+      let weight = perm_int (m - pos - 1) (k - pos - 1) in
+      let avail = List.filter (fun s -> not (List.mem s used)) (List.init m Fun.id) in
+      let choice = rem / weight in
+      let x = List.nth avail choice in
+      x :: build (x :: used) (pos + 1) (rem mod weight)
+    end
+  in
+  build [] 0 within
+
+let random rng ~m ~len =
+  if len > m then invalid_arg "Norep.random: len > m";
+  let pool = Array.init m Fun.id in
+  Stdx.Rng.shuffle rng pool;
+  Array.to_list (Array.sub pool 0 len)
+
+let longest ~m = List.init m Fun.id

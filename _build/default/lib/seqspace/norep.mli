@@ -1,0 +1,42 @@
+(** Repetition-free sequences over a finite domain.
+
+    The set of sequences over [{0,…,m−1}] in which no symbol occurs
+    twice is exactly the extremal allowable set of the paper: it has
+    [α(m)] members and is transmitted by the §3 protocol over
+    reorder+duplicate channels (and by its §4 variant over
+    reorder+delete channels).
+
+    The canonical order used by {!rank}/{!unrank} and {!enumerate} is
+    by length first, then lexicographically; the empty sequence has
+    rank 0. *)
+
+val is_norep : int list -> bool
+(** [is_norep xs] holds when no element of [xs] repeats. *)
+
+val is_over : m:int -> int list -> bool
+(** [is_over ~m xs] holds when every element lies in [\[0, m)]. *)
+
+val count : m:int -> int
+(** [count ~m] is [α(m)] as a machine integer.
+    @raise Failure on overflow (use {!Alpha.alpha} for exact values). *)
+
+val enumerate : m:int -> int list list
+(** All [α(m)] repetition-free sequences in canonical order.  Intended
+    for the small [m] (≤ 6 or so) used by exhaustive experiments. *)
+
+val rank : m:int -> int list -> int
+(** [rank ~m xs] is the canonical index of [xs].
+    @raise Invalid_argument if [xs] repeats a symbol or leaves
+    [\[0, m)]. *)
+
+val unrank : m:int -> int -> int list
+(** Inverse of {!rank}.
+    @raise Invalid_argument if the index is out of range. *)
+
+val random : Stdx.Rng.t -> m:int -> len:int -> int list
+(** [random rng ~m ~len] draws a uniformly random repetition-free
+    sequence of length [len] over [m] symbols.
+    @raise Invalid_argument if [len > m]. *)
+
+val longest : m:int -> int list
+(** The canonical maximal sequence [0; 1; …; m−1]. *)

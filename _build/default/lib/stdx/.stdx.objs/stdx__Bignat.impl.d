@@ -1,0 +1,1 @@
+lib/stdx/bignat.ml: Array Buffer Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/stdx/multiset.ml: Buffer Format Int List Map Printf

@@ -1,0 +1,1 @@
+lib/stdx/multiset.mli: Format

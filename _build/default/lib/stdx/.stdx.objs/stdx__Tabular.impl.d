@@ -1,0 +1,1 @@
+lib/stdx/tabular.ml: Array Buffer List Printf String

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every reproduction table (E1–E7) is printed through this module so
+    the benchmark harness, the CLI, and EXPERIMENTS.md all show the
+    same rows in the same shape. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column
+    headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument when the arity differs from the header. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between row groups. *)
+
+val render : t -> string
+(** The finished table, boxed with ASCII rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+(** Conventional formatting helpers ("yes"/"no" for booleans). *)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Channel Core Kernel List Protocols Seqspace Stdx

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Channel List QCheck QCheck_alcotest Stdx

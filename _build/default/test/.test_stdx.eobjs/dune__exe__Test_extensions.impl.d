@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Channel Core Kernel Knowledge List Protocols QCheck QCheck_alcotest Stdx String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Channel Kernel List Option Protocols QCheck QCheck_alcotest Stdx

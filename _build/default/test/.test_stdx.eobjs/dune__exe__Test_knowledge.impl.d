@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Array Channel Kernel Knowledge List Protocols Seqspace Stdx

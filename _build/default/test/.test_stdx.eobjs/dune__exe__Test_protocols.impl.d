@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Channel Core Gen Kernel List Option Protocols QCheck QCheck_alcotest Seqspace Stdx

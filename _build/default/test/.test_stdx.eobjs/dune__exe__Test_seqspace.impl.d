@@ -1,0 +1,1 @@
+test/test_seqspace.ml: Alcotest Array Float Fun List Option Printf QCheck QCheck_alcotest Seqspace Stdx

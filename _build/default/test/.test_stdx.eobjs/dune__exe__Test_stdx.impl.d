@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Float Gen Int List QCheck QCheck_alcotest Stdx String

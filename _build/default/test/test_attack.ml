@@ -1,0 +1,256 @@
+(* Tests for the constructive impossibility machinery: the product
+   attack search, witness reconstruction, and the harness/verdict/
+   bounds layers around it. *)
+
+module Attack = Core.Attack
+module Chan = Channel.Chan
+module Move = Kernel.Move
+module Strategy = Kernel.Strategy
+module Runner = Kernel.Runner
+module Trace = Kernel.Trace
+
+let check = Alcotest.check
+
+let witness_exn = function
+  | Attack.Witness w -> w
+  | Attack.No_violation _ -> Alcotest.fail "expected a witness"
+
+(* ------------------------- safety witnesses ------------------------- *)
+
+let test_counting_reorder_witness () =
+  let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  let w = witness_exn (Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ()) in
+  (match w.Attack.kind with
+  | Attack.Safety _ -> ()
+  | Attack.Starvation _ -> Alcotest.fail "expected safety");
+  check Alcotest.bool "short witness" true (w.Attack.depth <= 8)
+
+let test_abp_duplication_witness () =
+  let p = Protocols.Abp.protocol_on Chan.Reorder_dup ~domain:2 in
+  let w = witness_exn (Attack.search_single p ~x:[ 0; 0 ] ()) in
+  match w.Attack.kind with
+  | Attack.Safety { violated_run } -> check Alcotest.int "run 1" 1 violated_run
+  | Attack.Starvation _ -> Alcotest.fail "expected safety"
+
+let test_stenning_mod_wraparound_witness () =
+  let p = Protocols.Stenning_mod.protocol_on Chan.Reorder_dup ~domain:2 ~header_space:2 in
+  ignore (witness_exn (Attack.search_single p ~x:[ 0; 1; 0; 1 ] ()))
+
+(* ------------------------- witness replay ------------------------- *)
+
+let test_witness_replays_to_violation () =
+  (* The joint path projected on the violated run, fed back through the
+     scripted strategy, must reproduce the safety violation — the
+     witness is a real schedule, not an artifact of the search. *)
+  let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  let w = witness_exn (Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ()) in
+  let violated_run, input =
+    match w.Attack.kind with
+    | Attack.Safety { violated_run } ->
+        (violated_run, if violated_run = 1 then w.Attack.x1 else w.Attack.x2)
+    | Attack.Starvation _ -> Alcotest.fail "expected safety"
+  in
+  let moves = Attack.run_moves w ~which:violated_run in
+  let r =
+    Runner.run p ~input:(Array.of_list input) ~strategy:(Strategy.scripted moves)
+      ~rng:(Stdx.Rng.create 1)
+      ~max_steps:(List.length moves + 1)
+      ()
+  in
+  check Alcotest.bool "replayed violation" true
+    (Trace.first_safety_violation r.Runner.trace <> None)
+
+let test_single_witness_replays () =
+  let p = Protocols.Abp.protocol_on Chan.Reorder_dup ~domain:2 in
+  let w = witness_exn (Attack.search_single p ~x:[ 0; 0 ] ()) in
+  let moves = Attack.run_moves w ~which:1 in
+  (* The ABP overshoot happens *after* the output is complete, so the
+     replay must keep rolling past completion. *)
+  let r =
+    Runner.run p ~input:[| 0; 0 |] ~strategy:(Strategy.scripted moves)
+      ~rng:(Stdx.Rng.create 1)
+      ~max_steps:(List.length moves + 1)
+      ~post_roll:(List.length moves) ()
+  in
+  check Alcotest.bool "replayed violation" true
+    (Trace.first_safety_violation r.Runner.trace <> None)
+
+(* ------------------------- closures at the bound ------------------------- *)
+
+let test_norep_dup_closes_clean () =
+  let p = Protocols.Norep.dup ~m:2 in
+  let outcomes, first = Attack.search p ~xs:(Seqspace.Norep.enumerate ~m:2) ~depth:200 () in
+  check Alcotest.bool "no witness" true (first = None);
+  List.iter
+    (fun (_, _, o) ->
+      match o with
+      | Attack.No_violation { closed = true; _ } -> ()
+      | Attack.No_violation { closed = false; _ } -> Alcotest.fail "truncated"
+      | Attack.Witness _ -> Alcotest.fail "witness at the bound")
+    outcomes
+
+let test_norep_del_closes_clean () =
+  let p = Protocols.Norep.del ~m:2 in
+  let outcomes, first =
+    Attack.search p ~xs:(Seqspace.Norep.enumerate ~m:2) ~depth:200 ~max_sends_per_sender:4
+      ~max_sends_per_receiver:4 ()
+  in
+  check Alcotest.bool "no witness" true (first = None);
+  List.iter
+    (fun (_, _, o) ->
+      match o with
+      | Attack.No_violation { closed = true; _ } -> ()
+      | Attack.No_violation { closed = false; _ } -> Alcotest.fail "truncated"
+      | Attack.Witness _ -> Alcotest.fail "witness at the bound")
+    outcomes
+
+(* ------------------------- starvation witnesses ------------------------- *)
+
+let test_norep_dup_starvation_beyond_bound () =
+  let p = Protocols.Norep.dup ~m:2 in
+  let w = witness_exn (Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200 ()) in
+  match w.Attack.kind with
+  | Attack.Starvation { starved_run } ->
+      (* <0 0> is the sequence outside the repetition-free family. *)
+      check Alcotest.int "starved run is the repeat" 2 starved_run
+  | Attack.Safety _ -> Alcotest.fail "expected starvation"
+
+let test_norep_del_starvation_beyond_bound () =
+  let p = Protocols.Norep.del ~m:2 in
+  let w =
+    witness_exn
+      (Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200 ~max_sends_per_sender:4
+         ~max_sends_per_receiver:4 ())
+  in
+  match w.Attack.kind with
+  | Attack.Starvation { starved_run } -> check Alcotest.int "starved run" 2 starved_run
+  | Attack.Safety _ -> Alcotest.fail "expected starvation"
+
+let test_prefix_pairs_excluded () =
+  let p = Protocols.Norep.dup ~m:2 in
+  let outcomes, _ = Attack.search p ~xs:[ [ 0 ]; [ 0; 1 ] ] () in
+  check Alcotest.int "prefix pair skipped" 0 (List.length outcomes)
+
+(* ------------------------- search controls ------------------------- *)
+
+let test_depth_truncation_reported () =
+  let p = Protocols.Norep.del ~m:2 in
+  match Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:2 () with
+  | Attack.No_violation { closed; _ } -> check Alcotest.bool "truncated" false closed
+  | Attack.Witness _ -> Alcotest.fail "cannot witness at depth 2"
+
+let test_max_states_truncation () =
+  let p = Protocols.Norep.del ~m:2 in
+  match
+    Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200 ~max_states:50 ()
+  with
+  | Attack.No_violation { closed; states_explored } ->
+      check Alcotest.bool "truncated" false closed;
+      check Alcotest.bool "respected budget" true (states_explored <= 50)
+  | Attack.Witness _ -> Alcotest.fail "cannot witness within 50 states"
+
+let test_stenning_full_headers_survive () =
+  (* The escape hatch: per-instance finite but growing alphabet. *)
+  let p = Protocols.Stenning.protocol_on Chan.Reorder_dup ~domain:2 ~max_len:2 in
+  match Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ~depth:200 () with
+  | Attack.No_violation { closed = true; _ } -> ()
+  | Attack.No_violation { closed = false; _ } -> Alcotest.fail "truncated"
+  | Attack.Witness w -> Alcotest.failf "stenning broken: %a" Attack.pp_witness w
+
+(* ------------------------- verdict / harness / bounds ------------------------- *)
+
+let test_verdict_good_run () =
+  let p = Protocols.Norep.dup ~m:2 in
+  let r =
+    Runner.run p ~input:[| 0; 1 |] ~strategy:Strategy.round_robin ~rng:(Stdx.Rng.create 1)
+      ~max_steps:500 ()
+  in
+  let v = Core.Verdict.of_result r in
+  check Alcotest.bool "good" true (Core.Verdict.all_good v);
+  check Alcotest.bool "not deadlocked" false v.Core.Verdict.deadlocked
+
+let test_harness_clean_on_tight_protocol () =
+  let report =
+    Core.Harness.verify (Protocols.Norep.dup ~m:2) ~xs:(Seqspace.Norep.enumerate ~m:2)
+      (Core.Harness.default_spec ~n_seeds:2 ())
+  in
+  check Alcotest.bool "clean" true (Core.Harness.clean report);
+  check Alcotest.int "all runs counted" (5 * 3 * 2) report.Core.Harness.runs;
+  check Alcotest.int "all safe" report.Core.Harness.runs report.Core.Harness.safe_runs
+
+let test_harness_reports_failures () =
+  (* The counting protocol under a hostile deterministic reordering
+     schedule must produce failures the harness surfaces. *)
+  let report =
+    Core.Harness.verify
+      (Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2)
+      ~xs:[ [ 0; 1 ] ]
+      {
+        Core.Harness.strategies = [ Strategy.newest_first; Strategy.dup_flood () ];
+        seeds = [ 1; 2 ];
+        max_steps = 2_000;
+      }
+  in
+  check Alcotest.bool "failures reported" true (not (Core.Harness.clean report))
+
+let test_bounds_growth_slope () =
+  check (Alcotest.float 1e-6) "flat" 0.0 (Core.Bounds.growth_slope [ (1, 5.0); (2, 5.0); (3, 5.0) ]);
+  check (Alcotest.float 1e-6) "unit slope" 1.0
+    (Core.Bounds.growth_slope [ (1, 1.0); (2, 2.0); (3, 3.0) ]);
+  check (Alcotest.float 1e-6) "degenerate" 0.0 (Core.Bounds.growth_slope [ (1, 9.0) ])
+
+let test_bounds_measure_shapes () =
+  let ms =
+    Core.Bounds.measure (Protocols.Norep.del ~m:2)
+      ~xs:[ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+      ~strategy:(Strategy.fair_random ()) ~seeds:[ 1; 2 ] ~max_steps:2_000 ()
+  in
+  check Alcotest.int "one measurement per run" 6 (List.length ms);
+  List.iter
+    (fun m ->
+      check Alcotest.int "gap arity" (List.length m.Core.Bounds.input)
+        (List.length m.Core.Bounds.learning_gaps))
+    ms;
+  let by_len = Core.Bounds.gap_by_length ms in
+  check Alcotest.bool "grouped" true (List.length by_len >= 1)
+
+let () =
+  Alcotest.run "attack"
+    [
+      ( "safety witnesses",
+        [
+          Alcotest.test_case "counting vs reorder" `Quick test_counting_reorder_witness;
+          Alcotest.test_case "abp vs duplication" `Quick test_abp_duplication_witness;
+          Alcotest.test_case "stenning-mod wraparound" `Quick test_stenning_mod_wraparound_witness;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "pair witness replays" `Quick test_witness_replays_to_violation;
+          Alcotest.test_case "single witness replays" `Quick test_single_witness_replays;
+        ] );
+      ( "closure at the bound",
+        [
+          Alcotest.test_case "norep-dup closes" `Quick test_norep_dup_closes_clean;
+          Alcotest.test_case "norep-del closes" `Quick test_norep_del_closes_clean;
+          Alcotest.test_case "stenning survives" `Quick test_stenning_full_headers_survive;
+        ] );
+      ( "starvation beyond the bound",
+        [
+          Alcotest.test_case "dup starves the repeat" `Quick test_norep_dup_starvation_beyond_bound;
+          Alcotest.test_case "del starves the repeat" `Quick test_norep_del_starvation_beyond_bound;
+          Alcotest.test_case "prefix pairs excluded" `Quick test_prefix_pairs_excluded;
+        ] );
+      ( "search controls",
+        [
+          Alcotest.test_case "depth truncation" `Quick test_depth_truncation_reported;
+          Alcotest.test_case "state budget" `Quick test_max_states_truncation;
+        ] );
+      ( "verdict/harness/bounds",
+        [
+          Alcotest.test_case "verdict good run" `Quick test_verdict_good_run;
+          Alcotest.test_case "harness clean" `Quick test_harness_clean_on_tight_protocol;
+          Alcotest.test_case "harness failures" `Quick test_harness_reports_failures;
+          Alcotest.test_case "growth slope" `Quick test_bounds_growth_slope;
+          Alcotest.test_case "bounds measure" `Quick test_bounds_measure_shapes;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* End-to-end tests: the reproduction experiments must report their
+   paper-predicted shapes at test-scale parameters.  These are the
+   binding contract between the test suite and EXPERIMENTS.md. *)
+
+let check = Alcotest.check
+
+let assert_ok r =
+  if not r.Core.Experiments.ok then
+    Alcotest.failf "%s shape violated:@.%s@.%s" r.Core.Experiments.id r.Core.Experiments.table
+      (String.concat "\n" r.Core.Experiments.notes)
+
+let test_e1 () =
+  let r = Core.Experiments.e1_alpha_tightness ~m_max:6 ~m_verify:2 ~seeds:2 () in
+  assert_ok r;
+  check Alcotest.string "id" "E1" r.Core.Experiments.id
+
+let test_e2 () = assert_ok (Core.Experiments.e2_dup_attacks ~m:2 ())
+
+let test_e3 () = assert_ok (Core.Experiments.e3_del_attacks ~m:2 ())
+
+let test_e4 () = assert_ok (Core.Experiments.e4_boundedness ~domain:3 ~max_len:2 ~seeds:2 ())
+
+let test_e5 () =
+  assert_ok (Core.Experiments.e5_weak_boundedness ~domain:2 ~max_len:4 ~seeds:2 ())
+
+let test_e6 () = assert_ok (Core.Experiments.e6_knowledge_timeline ~m:2 ~seeds:4 ())
+
+let test_e7 () = assert_ok (Core.Experiments.e7_throughput ~seeds:2 ~max_len:2 ())
+
+let test_e8 () = assert_ok (Core.Experiments.e8_probabilistic ~trials:10 ~max_len:3 ())
+
+let test_e9 () = assert_ok (Core.Experiments.e9_census ~samples:30 ())
+
+let test_e10 () = assert_ok (Core.Experiments.e10_crossover ~h_max:2 ~lag_max:1 ())
+
+let test_e11 () = assert_ok (Core.Experiments.e11_knowledge_ladder ~m:2 ~seeds:3 ~depth:4 ())
+
+let test_e12 () = assert_ok (Core.Experiments.e12_recoverability ~input:[ 0 ] ())
+
+let test_tables_render () =
+  let r = Core.Experiments.e1_alpha_tightness ~m_max:3 ~m_verify:0 ~seeds:1 () in
+  check Alcotest.bool "nonempty table" true (String.length r.Core.Experiments.table > 0);
+  check Alcotest.bool "has notes" true (r.Core.Experiments.notes <> [])
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "E1 alpha tightness" `Quick test_e1;
+          Alcotest.test_case "E2 dup attacks" `Quick test_e2;
+          Alcotest.test_case "E3 del attacks" `Quick test_e3;
+          Alcotest.test_case "E4 boundedness" `Slow test_e4;
+          Alcotest.test_case "E5 weak boundedness" `Slow test_e5;
+          Alcotest.test_case "E6 knowledge timeline" `Slow test_e6;
+          Alcotest.test_case "E7 throughput" `Slow test_e7;
+          Alcotest.test_case "E8 probabilistic" `Slow test_e8;
+          Alcotest.test_case "E9 census" `Slow test_e9;
+          Alcotest.test_case "E10 crossover" `Slow test_e10;
+          Alcotest.test_case "E11 knowledge ladder" `Slow test_e11;
+          Alcotest.test_case "E12 recoverability" `Slow test_e12;
+          Alcotest.test_case "tables render" `Quick test_tables_render;
+        ] );
+    ]

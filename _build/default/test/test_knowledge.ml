@@ -1,0 +1,356 @@
+(* Tests for the epistemic layer: universes, indistinguishability,
+   K_R(x_i), and learning times. *)
+
+module Universe = Knowledge.Universe
+module Learn = Knowledge.Learn
+module Runner = Kernel.Runner
+module Strategy = Kernel.Strategy
+module Trace = Kernel.Trace
+
+let check = Alcotest.check
+
+let traces_for p inputs ~seeds ~post_roll =
+  List.concat_map
+    (fun input ->
+      List.map
+        (fun seed ->
+          (Runner.run p ~input:(Array.of_list input) ~strategy:(Strategy.fair_random ())
+             ~rng:(Stdx.Rng.create seed) ~max_steps:2_000 ~post_roll ())
+            .Runner.trace)
+        seeds)
+    inputs
+
+let norep_universe ?(m = 2) ?(seeds = [ 1; 2; 3 ]) () =
+  let inputs = Seqspace.Norep.enumerate ~m in
+  let traces = traces_for (Protocols.Norep.dup ~m) inputs ~seeds ~post_roll:20 in
+  (Universe.of_traces traces, inputs, List.length seeds)
+
+(* ------------------------- universe ------------------------- *)
+
+let test_universe_sizes () =
+  let u, inputs, n_seeds = norep_universe () in
+  let tarr = Universe.traces u in
+  check Alcotest.int "trace count" (List.length inputs * n_seeds) (Array.length tarr);
+  let expected_points =
+    Array.fold_left (fun acc t -> acc + Trace.length t + 1) 0 tarr
+  in
+  check Alcotest.int "points" expected_points (Universe.n_points u);
+  check Alcotest.bool "classes <= points" true (Universe.n_classes u <= Universe.n_points u);
+  check Alcotest.bool "classes > 1" true (Universe.n_classes u > 1)
+
+let test_universe_initial_points_indistinguishable () =
+  (* Property 1a: the receiver starts identically everywhere, so all
+     time-0 points share one class. *)
+  let u, _, _ = norep_universe () in
+  let tarr = Universe.traces u in
+  let p0 = { Universe.run = 0; time = 0 } in
+  let cls = Universe.r_class u p0 in
+  check Alcotest.int "all initial points together" (Array.length tarr)
+    (List.length (List.filter (fun q -> q.Universe.time = 0) cls))
+
+let test_universe_class_membership_symmetric () =
+  let u, _, _ = norep_universe () in
+  let p = { Universe.run = 0; time = 0 } in
+  List.iter
+    (fun q ->
+      if not (List.mem p (Universe.r_class u q)) then Alcotest.fail "class not symmetric")
+    (Universe.r_class u p)
+
+let test_universe_input_of () =
+  let u, inputs, n_seeds = norep_universe () in
+  List.iteri
+    (fun i input ->
+      check (Alcotest.list Alcotest.int) "input_of" input
+        (Array.to_list (Universe.input_of u { Universe.run = i * n_seeds; time = 0 })))
+    inputs
+
+(* ------------------------- knowledge ------------------------- *)
+
+let test_initially_ignorant () =
+  (* At time 0 the receiver knows nothing: several inputs disagree on
+     x_1 and all initial points are indistinguishable. *)
+  let u, _, _ = norep_universe () in
+  check Alcotest.bool "no K_R(x_1) at start" false
+    (Learn.knows_item u { Universe.run = 0; time = 0 } ~i:1);
+  check Alcotest.int "known prefix 0" 0
+    (Learn.known_prefix_length u { Universe.run = 0; time = 0 })
+
+let test_eventually_knows_everything () =
+  let u, inputs, n_seeds = norep_universe () in
+  List.iteri
+    (fun i input ->
+      let run = i * n_seeds in
+      let lt = Learn.learning_times u ~run in
+      check Alcotest.int "one slot per item" (List.length input) (Array.length lt);
+      Array.iteri
+        (fun j t ->
+          if t = None then Alcotest.failf "item %d of input %d never learned" (j + 1) i)
+        lt)
+    inputs
+
+let test_learning_times_monotone () =
+  let u, inputs, n_seeds = norep_universe ~m:3 ~seeds:[ 1; 2 ] () in
+  List.iteri
+    (fun i _ ->
+      let lt = Learn.learning_times u ~run:(i * n_seeds) in
+      let prev = ref 0 in
+      Array.iter
+        (function
+          | Some t ->
+              if t < !prev then Alcotest.fail "t_i not monotone";
+              prev := t
+          | None -> ())
+        lt)
+    inputs
+
+let test_stability () =
+  let u, inputs, n_seeds = norep_universe () in
+  List.iteri
+    (fun i _ ->
+      if not (Learn.stability_ok u ~run:(i * n_seeds)) then
+        Alcotest.failf "stability violated in run %d" i)
+    inputs
+
+let test_knowledge_precedes_writing () =
+  let u, inputs, n_seeds = norep_universe ~m:3 ~seeds:[ 1; 2 ] () in
+  List.iteri
+    (fun i _ ->
+      List.iter
+        (function
+          | Some lead when lead < 0 -> Alcotest.fail "wrote before knowing"
+          | Some _ | None -> ())
+        (Learn.knowledge_lead u ~run:(i * n_seeds)))
+    inputs
+
+let test_write_times_match_trace () =
+  let u, _, _ = norep_universe () in
+  let tarr = Universe.traces u in
+  let run = 1 in
+  let wt = Learn.write_times u ~run in
+  Array.iteri
+    (fun idx t ->
+      match t with
+      | Some t ->
+          check Alcotest.bool "write time consistent" true
+            (Trace.output_length_at tarr.(run) t >= idx + 1
+            && (t = 0 || Trace.output_length_at tarr.(run) (t - 1) < idx + 1))
+      | None -> Alcotest.fail "item never written")
+    wt
+
+let test_gaps () =
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "gaps" [ Some 3; Some 4; None ]
+    (Learn.gaps [| Some 3; Some 7; None |]);
+  check (Alcotest.list (Alcotest.option Alcotest.int)) "empty" [] (Learn.gaps [||])
+
+let test_knows_item_out_of_range () =
+  let u, _, _ = norep_universe () in
+  (* No input has a 15th item, so K_R(x_15) is false everywhere. *)
+  check Alcotest.bool "beyond all inputs" false
+    (Learn.knows_item u { Universe.run = 0; time = 0 } ~i:15)
+
+(* ------------------------- hand-built universes ------------------------- *)
+
+(* Two scripted runs of the counting protocol with different inputs:
+   until the first delivery the receiver must not know x_1; after
+   receiving the (distinct) first values it must. *)
+let test_knowledge_flips_on_distinguishing_delivery () =
+  let module Move = Kernel.Move in
+  let p = Protocols.Counting.protocol_on Channel.Chan.Perfect ~domain:2 in
+  let mk input first =
+    let moves = [ Move.Wake_sender; Move.Deliver_to_receiver first; Move.Wake_sender ] in
+    (Runner.run p ~input ~strategy:(Strategy.scripted moves) ~rng:(Stdx.Rng.create 1)
+       ~max_steps:10 ())
+      .Runner.trace
+  in
+  let u = Universe.of_traces [ mk [| 0; 1 |] 0; mk [| 1; 0 |] 1 ] in
+  check Alcotest.bool "ignorant before delivery" false
+    (Learn.knows_item u { Universe.run = 0; time = 1 } ~i:1);
+  check Alcotest.bool "knows x_1 after delivery" true
+    (Learn.knows_item u { Universe.run = 0; time = 2 } ~i:1);
+  (* x_2 is already determined to the receiver because in this tiny
+     universe only one input starts with 0. *)
+  check Alcotest.bool "tiny universe over-knows" true
+    (Learn.knows_item u { Universe.run = 0; time = 2 } ~i:2)
+
+let test_single_run_universe_knows_all () =
+  (* With a single run in the universe nothing is ever ambiguous: the
+     degenerate case the documentation warns about. *)
+  let p = Protocols.Norep.dup ~m:2 in
+  let trace =
+    (Runner.run p ~input:[| 1; 0 |] ~strategy:Strategy.round_robin ~rng:(Stdx.Rng.create 1)
+       ~max_steps:500 ())
+      .Runner.trace
+  in
+  let u = Universe.of_traces [ trace ] in
+  check Alcotest.int "knows everything at t=0" 2
+    (Learn.known_prefix_length u { Universe.run = 0; time = 0 })
+
+(* ------------------------- formulas / nested knowledge ------------------------- *)
+
+module F = Knowledge.Formula
+
+let test_formula_knows_value_matches_learn () =
+  (* K_R(x_i) as a formula must agree with Learn.knows_item. *)
+  let u, inputs, n_seeds = norep_universe () in
+  let domain = 2 in
+  List.iteri
+    (fun idx input ->
+      let run = idx * n_seeds in
+      let trace = (Universe.traces u).(run) in
+      for time = 0 to min 10 (Trace.length trace) do
+        let p = { Universe.run; time } in
+        for i = 1 to List.length input do
+          let via_formula = F.eval u p (F.knows_value F.Receiver ~i ~domain) in
+          let via_learn = Learn.knows_item u p ~i in
+          if via_formula <> via_learn then
+            Alcotest.failf "disagreement at run %d time %d item %d" run time i
+        done
+      done)
+    inputs
+
+let test_formula_boolean_connectives () =
+  let u, _, _ = norep_universe () in
+  let p = { Universe.run = 0; time = 0 } in
+  let t = F.Fact (F.Input_ge 0) in
+  check Alcotest.bool "true fact" true (F.eval u p t);
+  check Alcotest.bool "not" false (F.eval u p (F.Not t));
+  check Alcotest.bool "and" false (F.eval u p (F.And (t, F.Not t)));
+  check Alcotest.bool "or" true (F.eval u p (F.Or (F.Not t, t)))
+
+let test_formula_chain_structure () =
+  let phi = F.Fact (F.Output_ge 1) in
+  check Alcotest.bool "chain" true
+    (F.chain [ F.Sender; F.Receiver ] phi = F.Knows (F.Sender, F.Knows (F.Receiver, phi)));
+  check Alcotest.bool "alternating" true
+    (F.alternating ~depth:3 ~first:F.Sender phi
+    = F.Knows (F.Sender, F.Knows (F.Receiver, F.Knows (F.Sender, phi))))
+
+let test_formula_tabulate_matches_eval () =
+  let u, _, _ = norep_universe () in
+  let phi = F.Knows (F.Sender, F.Fact (F.Output_ge 1)) in
+  let table = F.tabulate u phi in
+  List.iter
+    (fun p ->
+      if table p <> F.eval u p phi then
+        Alcotest.failf "tabulate/eval disagree at run %d time %d" p.Universe.run p.Universe.time)
+    (Universe.points u)
+
+let test_sender_knows_input_immediately () =
+  (* Non-uniform senders carry X in their local state, so K_S(x_i)
+     holds at time 0 — the asymmetry Property 1a imposes on R only. *)
+  let u, inputs, n_seeds = norep_universe () in
+  List.iteri
+    (fun idx input ->
+      if input <> [] then begin
+        let p = { Universe.run = idx * n_seeds; time = 0 } in
+        check Alcotest.bool "K_S(x_1) at start" true
+          (F.eval u p (F.knows_value F.Sender ~i:1 ~domain:2));
+        check Alcotest.bool "not K_R(x_1) at start" false
+          (F.eval u p (F.knows_value F.Receiver ~i:1 ~domain:2))
+      end)
+    inputs
+
+let test_nested_knowledge_strictly_later () =
+  let u, _, n_seeds = norep_universe ~m:2 ~seeds:[ 1; 2; 3 ] () in
+  (* Runs of input <0 1> start at index 3 * n_seeds in enumeration
+     order ([]; [0]; [1]; [0;1]; [1;0]). *)
+  let run = 3 * n_seeds in
+  let phi = F.Fact (F.Output_ge 1) in
+  let l1 = F.Knows (F.Sender, phi) in
+  let l2 = F.Knows (F.Receiver, l1) in
+  let t0 = F.first_time u ~run phi in
+  let t1 = F.first_time u ~run l1 in
+  let t2 = F.first_time u ~run l2 in
+  match (t0, t1, t2) with
+  | Some a, Some b, Some c ->
+      if not (a < b && b < c) then Alcotest.failf "ladder not increasing: %d %d %d" a b c
+  | _ -> Alcotest.fail "ladder levels unattained"
+
+let test_common_knowledge_never () =
+  let u, _, _ = norep_universe () in
+  let phi = F.Fact (F.Output_ge 1) in
+  let c = F.common u phi in
+  check Alcotest.bool "C phi nowhere" false
+    (List.exists (fun p -> c p) (Universe.points u))
+
+let test_common_knowledge_of_tautology_everywhere () =
+  let u, _, _ = norep_universe () in
+  let taut = F.Fact (F.Input_ge 0) in
+  let c = F.common u taut in
+  check Alcotest.bool "C tautology everywhere" true
+    (List.for_all (fun p -> c p) (Universe.points u))
+
+let test_common_implies_every_chain () =
+  (* Wherever C phi holds, every finite K-chain holds too. *)
+  let u, _, _ = norep_universe () in
+  let taut = F.Fact (F.Input_ge 0) in
+  let c = F.common u taut in
+  let chain = F.chain [ F.Sender; F.Receiver; F.Sender ] taut in
+  let tbl = F.tabulate u chain in
+  List.iter
+    (fun p -> if c p && not (tbl p) then Alcotest.fail "C held without the chain")
+    (Universe.points u)
+
+let test_s_class_separates_inputs () =
+  let u, _, n_seeds = norep_universe () in
+  (* Non-uniform senders: time-0 points of different inputs are
+     S-distinguishable, so the S-class of a point only contains points
+     of the same input. *)
+  let p = { Universe.run = 0; time = 0 } in
+  let input0 = Universe.input_of u p in
+  List.iter
+    (fun q ->
+      if Universe.input_of u q <> input0 then Alcotest.fail "S-class crossed inputs")
+    (Universe.s_class u p);
+  ignore n_seeds
+
+let () =
+  Alcotest.run "knowledge"
+    [
+      ( "universe",
+        [
+          Alcotest.test_case "sizes" `Quick test_universe_sizes;
+          Alcotest.test_case "initial points indistinguishable" `Quick
+            test_universe_initial_points_indistinguishable;
+          Alcotest.test_case "class symmetric" `Quick test_universe_class_membership_symmetric;
+          Alcotest.test_case "input_of" `Quick test_universe_input_of;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "initially ignorant" `Quick test_initially_ignorant;
+          Alcotest.test_case "eventually knows all" `Quick test_eventually_knows_everything;
+          Alcotest.test_case "t_i monotone" `Quick test_learning_times_monotone;
+          Alcotest.test_case "stability (Sec 2.3)" `Quick test_stability;
+          Alcotest.test_case "knowledge precedes writing" `Quick test_knowledge_precedes_writing;
+          Alcotest.test_case "write times vs trace" `Quick test_write_times_match_trace;
+          Alcotest.test_case "gaps" `Quick test_gaps;
+          Alcotest.test_case "out-of-range item" `Quick test_knows_item_out_of_range;
+        ] );
+      ( "hand-built",
+        [
+          Alcotest.test_case "knowledge flips on delivery" `Quick
+            test_knowledge_flips_on_distinguishing_delivery;
+          Alcotest.test_case "singleton universe degenerates" `Quick
+            test_single_run_universe_knows_all;
+        ] );
+      ( "formulas",
+        [
+          Alcotest.test_case "knows_value = Learn.knows_item" `Quick
+            test_formula_knows_value_matches_learn;
+          Alcotest.test_case "boolean connectives" `Quick test_formula_boolean_connectives;
+          Alcotest.test_case "chain structure" `Quick test_formula_chain_structure;
+          Alcotest.test_case "tabulate = eval" `Quick test_formula_tabulate_matches_eval;
+          Alcotest.test_case "sender knows input at t=0" `Quick
+            test_sender_knows_input_immediately;
+          Alcotest.test_case "nested knowledge strictly later" `Quick
+            test_nested_knowledge_strictly_later;
+          Alcotest.test_case "S-class separates inputs" `Quick test_s_class_separates_inputs;
+          Alcotest.test_case "common knowledge never (contingent)" `Quick
+            test_common_knowledge_never;
+          Alcotest.test_case "common knowledge of tautology" `Quick
+            test_common_knowledge_of_tautology_everywhere;
+          Alcotest.test_case "C implies every chain" `Quick test_common_implies_every_chain;
+        ] );
+    ]

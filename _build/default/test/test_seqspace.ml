@@ -1,0 +1,377 @@
+(* Tests for the paper's combinatorics: alpha(m), repetition-free
+   sequences, the mu(X) codes, allowable sets, and the delta recursion. *)
+
+module Alpha = Seqspace.Alpha
+module Norep = Seqspace.Norep
+module Codes = Seqspace.Codes
+module Xset = Seqspace.Xset
+module Delta = Seqspace.Delta
+module Bignat = Stdx.Bignat
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------- Alpha ------------------------- *)
+
+let test_alpha_known_values () =
+  (* OEIS A000522: total number of arrangements of an n-set. *)
+  List.iter
+    (fun (m, expected) -> check Alcotest.int (Printf.sprintf "alpha(%d)" m) expected (Alpha.alpha_exn m))
+    [ (0, 1); (1, 2); (2, 5); (3, 16); (4, 65); (5, 326); (6, 1957); (7, 13700); (8, 109601) ]
+
+let test_alpha_recurrence () =
+  (* alpha(m) = m * alpha(m-1) + 1. *)
+  for m = 1 to 15 do
+    let lhs = Alpha.alpha m in
+    let rhs = Bignat.add (Bignat.mul_int (Alpha.alpha (m - 1)) m) Bignat.one in
+    if not (Bignat.equal lhs rhs) then Alcotest.failf "recurrence fails at m=%d" m
+  done
+
+let test_alpha_overflow_boundary () =
+  check Alcotest.bool "alpha(18) fits" true (Alpha.alpha_int 18 <> None);
+  check Alcotest.bool "alpha(21) overflows" true (Alpha.alpha_int 21 = None)
+
+let test_permutations () =
+  check Alcotest.string "P(5,2)" "20" (Bignat.to_string (Alpha.permutations 5 2));
+  check Alcotest.string "P(5,5)" "120" (Bignat.to_string (Alpha.permutations 5 5));
+  check Alcotest.string "P(5,6)" "0" (Bignat.to_string (Alpha.permutations 5 6));
+  check Alcotest.string "P(5,0)" "1" (Bignat.to_string (Alpha.permutations 5 0))
+
+let test_alpha_is_sum_of_permutations () =
+  for m = 0 to 10 do
+    let sum = ref Bignat.zero in
+    for k = 0 to m do
+      sum := Bignat.add !sum (Alpha.permutations m k)
+    done;
+    if not (Bignat.equal !sum (Alpha.alpha m)) then Alcotest.failf "sum mismatch at m=%d" m
+  done
+
+let test_alpha_ratio_approaches_one () =
+  (match Alpha.alpha_int 10 with
+  | Some a ->
+      let ratio = float_of_int a /. Alpha.e_times_fact 10 in
+      check Alcotest.bool "ratio near 1" true (Float.abs (ratio -. 1.0) < 1e-6)
+  | None -> Alcotest.fail "alpha(10) should fit");
+  check Alcotest.bool "alpha(0)/(e*0!) = 1/e" true
+    (Float.abs ((1.0 /. Alpha.e_times_fact 0) -. 0.3678794) < 1e-6)
+
+let test_alpha_bounded () =
+  (* Full length recovers alpha; length 0 counts only the empty
+     sequence; length 1 counts it plus the m singletons. *)
+  for m = 0 to 8 do
+    if not (Bignat.equal (Alpha.alpha_bounded ~m ~max_len:m) (Alpha.alpha m)) then
+      Alcotest.failf "bounded at full length differs at m=%d" m;
+    if not (Bignat.equal (Alpha.alpha_bounded ~m ~max_len:(m + 3)) (Alpha.alpha m)) then
+      Alcotest.failf "bounded beyond full length differs at m=%d" m
+  done;
+  check Alcotest.string "len 0" "1" (Bignat.to_string (Alpha.alpha_bounded ~m:5 ~max_len:0));
+  check Alcotest.string "len 1" "6" (Bignat.to_string (Alpha.alpha_bounded ~m:5 ~max_len:1));
+  check Alcotest.string "len 2" "26" (Bignat.to_string (Alpha.alpha_bounded ~m:5 ~max_len:2))
+
+let test_alpha_bounded_counts_enumeration () =
+  for m = 0 to 5 do
+    for l = 0 to m do
+      let count =
+        List.length (List.filter (fun x -> List.length x <= l) (Norep.enumerate ~m))
+      in
+      match Stdx.Bignat.to_int (Alpha.alpha_bounded ~m ~max_len:l) with
+      | Some v ->
+          if v <> count then Alcotest.failf "m=%d l=%d: %d vs %d" m l v count
+      | None -> Alcotest.fail "overflow"
+    done
+  done
+
+(* ------------------------- Norep ------------------------- *)
+
+let test_norep_enumerate_count () =
+  for m = 0 to 5 do
+    check Alcotest.int
+      (Printf.sprintf "enumerate m=%d" m)
+      (Alpha.alpha_exn m)
+      (List.length (Norep.enumerate ~m))
+  done
+
+let test_norep_enumerate_all_valid_unique () =
+  let xs = Norep.enumerate ~m:4 in
+  List.iter
+    (fun x ->
+      if not (Norep.is_norep x && Norep.is_over ~m:4 x) then Alcotest.fail "invalid member")
+    xs;
+  check Alcotest.int "unique" (List.length xs) (List.length (List.sort_uniq compare xs))
+
+let test_norep_is_norep () =
+  check Alcotest.bool "norep" true (Norep.is_norep [ 3; 1; 2 ]);
+  check Alcotest.bool "repeat" false (Norep.is_norep [ 1; 2; 1 ]);
+  check Alcotest.bool "empty" true (Norep.is_norep [])
+
+let test_norep_rank_canonical_order () =
+  let xs = Norep.enumerate ~m:4 in
+  List.iteri
+    (fun i x ->
+      if Norep.rank ~m:4 x <> i then
+        Alcotest.failf "rank of element %d disagrees with enumeration order" i)
+    xs
+
+let prop_norep_rank_unrank =
+  QCheck.Test.make ~name:"rank/unrank roundtrip (m=5)"
+    QCheck.(int_range 0 (326 - 1))
+    (fun idx -> Norep.rank ~m:5 (Norep.unrank ~m:5 idx) = idx)
+
+let test_norep_rank_rejects () =
+  Alcotest.check_raises "repeat" (Invalid_argument "Norep.rank: sequence repeats a symbol")
+    (fun () -> ignore (Norep.rank ~m:3 [ 0; 0 ]));
+  Alcotest.check_raises "out of domain" (Invalid_argument "Norep.rank: symbol out of domain")
+    (fun () -> ignore (Norep.rank ~m:3 [ 5 ]))
+
+let prop_norep_random_valid =
+  QCheck.Test.make ~name:"random sequences are repetition-free"
+    QCheck.(pair small_int (int_range 0 6))
+    (fun (seed, len) ->
+      let x = Norep.random (Stdx.Rng.create seed) ~m:6 ~len in
+      Norep.is_norep x && Norep.is_over ~m:6 x && List.length x = len)
+
+let test_norep_longest () =
+  check (Alcotest.list Alcotest.int) "longest" [ 0; 1; 2 ] (Norep.longest ~m:3)
+
+let test_norep_count_matches_alpha () =
+  for m = 0 to 8 do
+    check Alcotest.int (Printf.sprintf "count m=%d" m) (Alpha.alpha_exn m) (Norep.count ~m)
+  done
+
+(* ------------------------- Codes ------------------------- *)
+
+let test_codes_norep_identityish () =
+  (* The full norep family always admits a code over m symbols. *)
+  let xs = Norep.enumerate ~m:3 in
+  match Codes.build ~m:3 xs with
+  | Error e -> Alcotest.failf "build failed: %a" Codes.pp_error e
+  | Ok code ->
+      check Alcotest.int "trie size = |prefixes|" (List.length xs) (Codes.size code);
+      List.iter
+        (fun x ->
+          match Codes.encode code x with
+          | None -> Alcotest.fail "encode failed"
+          | Some mu ->
+              check Alcotest.bool "mu repetition-free" true (Norep.is_norep mu);
+              check Alcotest.int "length preserved" (List.length x) (List.length mu);
+              check (Alcotest.option (Alcotest.list Alcotest.int)) "decode inverts" (Some x)
+                (Codes.decode code mu))
+        xs
+
+let test_codes_repeats () =
+  (* Sequences with repeated *data* go through: the code symbols never
+     repeat even when the data does. *)
+  let xs = [ []; [ 0 ]; [ 0; 0 ]; [ 1 ]; [ 1; 1 ] ] in
+  match Codes.build ~m:2 xs with
+  | Error e -> Alcotest.failf "build failed: %a" Codes.pp_error e
+  | Ok code -> (
+      match Codes.encode code [ 0; 0 ] with
+      | Some mu -> check Alcotest.bool "norep" true (Norep.is_norep mu)
+      | None -> Alcotest.fail "encode failed")
+
+let test_codes_prefix_monotone () =
+  let xs = [ []; [ 0 ]; [ 0; 1 ]; [ 1 ] ] in
+  match Codes.build ~m:2 xs with
+  | Error e -> Alcotest.failf "build failed: %a" Codes.pp_error e
+  | Ok code ->
+      let enc x = Option.get (Codes.encode code x) in
+      check Alcotest.bool "prefix preserved" true
+        (Xset.is_prefix (enc [ 0 ]) (enc [ 0; 1 ]));
+      check Alcotest.bool "non-prefix stays non-prefix" true
+        (not (Xset.is_prefix (enc [ 1 ]) (enc [ 0; 1 ])))
+
+let test_codes_too_bushy () =
+  (* Three children at the root with two symbols: impossible. *)
+  match Codes.build ~m:2 [ [ 0 ]; [ 1 ]; [ 2 ] ] with
+  | Error (Codes.Too_many_children { needed; available; prefix }) ->
+      check Alcotest.int "needed" 3 needed;
+      check Alcotest.int "available" 2 available;
+      check (Alcotest.list Alcotest.int) "at root" [] prefix
+  | Error (Codes.Duplicate_sequence _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "should not build"
+
+let test_codes_too_deep () =
+  (* A path longer than m exhausts the symbols. *)
+  match Codes.build ~m:2 [ [ 0; 0; 0 ] ] with
+  | Error (Codes.Too_many_children { available; _ }) -> check Alcotest.int "none left" 0 available
+  | Error (Codes.Duplicate_sequence _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "should not build"
+
+let test_codes_duplicate () =
+  match Codes.build ~m:3 [ [ 0 ]; [ 0 ] ] with
+  | Error (Codes.Duplicate_sequence s) -> check (Alcotest.list Alcotest.int) "dup" [ 0 ] s
+  | Error (Codes.Too_many_children _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "should not build"
+
+let test_codes_navigation () =
+  let xs = [ []; [ 7 ]; [ 7; 3 ] ] in
+  match Codes.build ~m:2 xs with
+  | Error e -> Alcotest.failf "build failed: %a" Codes.pp_error e
+  | Ok code -> (
+      let root = Codes.root code in
+      match Codes.step_by_data code root 7 with
+      | None -> Alcotest.fail "step failed"
+      | Some n1 ->
+          check Alcotest.int "path length" 1 (List.length (Codes.path_symbols code n1));
+          let sym = Option.get (Codes.msg_of_edge code root 7) in
+          check Alcotest.bool "msg/data edges agree" true
+            (Codes.data_of_edge code root sym = Some 7);
+          check Alcotest.bool "by_msg agrees" true (Codes.step_by_msg code root sym = Some n1))
+
+let test_codes_alpha_capacity () =
+  (* The norep family at every m <= 4 admits a code: the bound is met. *)
+  List.iter
+    (fun m ->
+      match Codes.build ~m (Norep.enumerate ~m) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "m=%d should build: %a" m Codes.pp_error e)
+    [ 0; 1; 2; 3; 4 ]
+
+(* ------------------------- Xset ------------------------- *)
+
+let test_xset_cardinalities () =
+  check Alcotest.int "all_upto 2,3" 15
+    (Xset.cardinality_int (Xset.All_upto { domain = 2; max_len = 3 }));
+  check Alcotest.int "norep 3" 16 (Xset.cardinality_int (Xset.Norep_full { domain = 3 }));
+  check Alcotest.int "explicit" 2 (Xset.cardinality_int (Xset.Explicit [ [ 0 ]; [ 1 ] ]))
+
+let test_xset_to_list_matches_cardinality () =
+  List.iter
+    (fun xset ->
+      check Alcotest.int "cardinality = |to_list|" (Xset.cardinality_int xset)
+        (List.length (Xset.to_list xset)))
+    [
+      Xset.All_upto { domain = 3; max_len = 2 };
+      Xset.Norep_full { domain = 4 };
+      Xset.Explicit [ []; [ 1; 1 ] ];
+    ]
+
+let test_xset_mem () =
+  let xset = Xset.All_upto { domain = 2; max_len = 2 } in
+  check Alcotest.bool "member" true (Xset.mem xset [ 1; 0 ]);
+  check Alcotest.bool "too long" false (Xset.mem xset [ 0; 0; 0 ]);
+  check Alcotest.bool "out of domain" false (Xset.mem xset [ 2 ]);
+  let norep = Xset.Norep_full { domain = 3 } in
+  check Alcotest.bool "repeat rejected" false (Xset.mem norep [ 0; 0 ])
+
+let prop_xset_lcp =
+  QCheck.Test.make ~name:"lcp is a common prefix and maximal"
+    QCheck.(pair (list (int_range 0 2)) (list (int_range 0 2)))
+    (fun (a, b) ->
+      let p = Xset.lcp a b in
+      Xset.is_prefix p a && Xset.is_prefix p b
+      &&
+      (* maximality: the next elements differ or one list ended *)
+      let n = List.length p in
+      List.length a = n || List.length b = n || List.nth a n <> List.nth b n)
+
+let prop_xset_is_prefix_via_lcp =
+  QCheck.Test.make ~name:"is_prefix a b iff lcp a b = a"
+    QCheck.(pair (list (int_range 0 2)) (list (int_range 0 2)))
+    (fun (a, b) -> Xset.is_prefix a b = (Xset.lcp a b = a))
+
+let test_xset_beta () =
+  (* {<0>, <0 1>} : <0> is a prefix, distinguished by length at i=2;
+     {<0 0>, <0 1>} : need 2 symbols. *)
+  check Alcotest.int "beta distinguishes" 2 (Xset.beta (Xset.Explicit [ [ 0; 0 ]; [ 0; 1 ] ]));
+  check Alcotest.int "beta 1" 1 (Xset.beta (Xset.Explicit [ [ 0 ]; [ 1 ] ]));
+  check Alcotest.int "beta empty" 0 (Xset.beta (Xset.Explicit [ [] ]))
+
+let test_xset_non_prefix_pairs () =
+  let pairs = Xset.distinct_non_prefix_pairs (Xset.Explicit [ []; [ 0 ]; [ 0; 1 ]; [ 1 ] ]) in
+  (* [] is a prefix of everything; <0> prefixes <0 1>.  Non-prefix
+     pairs: (<0>,<1>) and (<0 1>,<1>). *)
+  check Alcotest.int "pair count" 2 (List.length pairs)
+
+let test_xset_domain () =
+  check Alcotest.int "explicit domain" 4 (Xset.domain (Xset.Explicit [ [ 3 ]; [ 0 ] ]));
+  check Alcotest.int "explicit empty" 1 (Xset.domain (Xset.Explicit [ [] ]));
+  check Alcotest.int "all_upto" 5 (Xset.domain (Xset.All_upto { domain = 5; max_len = 1 }))
+
+(* ------------------------- Delta ------------------------- *)
+
+let test_delta_base () =
+  let ds = Delta.deltas ~m:3 ~c:7 in
+  check Alcotest.string "delta_m = c" "7" (Bignat.to_string ds.(3));
+  check Alcotest.int "length" 4 (Array.length ds)
+
+let test_delta_recursion () =
+  let m = 3 and c = 5 in
+  let ds = Delta.deltas ~m ~c in
+  for l = 0 to m - 1 do
+    let factor =
+      Bignat.add Bignat.one
+        (Bignat.mul_int (Bignat.mul_int (Alpha.alpha (m - l)) (m - l)) c)
+    in
+    if not (Bignat.equal ds.(l) (Bignat.mul ds.(l + 1) factor)) then
+      Alcotest.failf "recursion fails at l=%d" l
+  done
+
+let test_delta_monotone () =
+  let ds = Delta.deltas ~m:4 ~c:3 in
+  for l = 0 to 3 do
+    if Bignat.compare ds.(l) ds.(l + 1) <= 0 then Alcotest.failf "not decreasing at %d" l
+  done
+
+let test_c_of_f () =
+  check Alcotest.int "constant f" 12 (Delta.c_of_f ~f:(fun _ -> 4) ~beta:3);
+  check Alcotest.int "identity f" 6 (Delta.c_of_f ~f:Fun.id ~beta:3);
+  check Alcotest.int "beta 0" 0 (Delta.c_of_f ~f:(fun _ -> 9) ~beta:0)
+
+let () =
+  Alcotest.run "seqspace"
+    [
+      ( "alpha",
+        [
+          Alcotest.test_case "known values (A000522)" `Quick test_alpha_known_values;
+          Alcotest.test_case "recurrence" `Quick test_alpha_recurrence;
+          Alcotest.test_case "overflow boundary" `Quick test_alpha_overflow_boundary;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "alpha = sum of P(m,k)" `Quick test_alpha_is_sum_of_permutations;
+          Alcotest.test_case "ratio to e*m!" `Quick test_alpha_ratio_approaches_one;
+          Alcotest.test_case "bounded-length alpha" `Quick test_alpha_bounded;
+          Alcotest.test_case "bounded alpha = enumeration" `Quick
+            test_alpha_bounded_counts_enumeration;
+        ] );
+      ( "norep",
+        [
+          Alcotest.test_case "enumerate counts" `Quick test_norep_enumerate_count;
+          Alcotest.test_case "enumerate valid+unique" `Quick test_norep_enumerate_all_valid_unique;
+          Alcotest.test_case "is_norep" `Quick test_norep_is_norep;
+          Alcotest.test_case "rank = enumeration order" `Quick test_norep_rank_canonical_order;
+          Alcotest.test_case "rank rejects" `Quick test_norep_rank_rejects;
+          Alcotest.test_case "longest" `Quick test_norep_longest;
+          Alcotest.test_case "count = alpha" `Quick test_norep_count_matches_alpha;
+          qtest prop_norep_rank_unrank;
+          qtest prop_norep_random_valid;
+        ] );
+      ( "codes",
+        [
+          Alcotest.test_case "norep family" `Quick test_codes_norep_identityish;
+          Alcotest.test_case "repeats encodable" `Quick test_codes_repeats;
+          Alcotest.test_case "prefix monotone" `Quick test_codes_prefix_monotone;
+          Alcotest.test_case "too bushy" `Quick test_codes_too_bushy;
+          Alcotest.test_case "too deep" `Quick test_codes_too_deep;
+          Alcotest.test_case "duplicate rejected" `Quick test_codes_duplicate;
+          Alcotest.test_case "trie navigation" `Quick test_codes_navigation;
+          Alcotest.test_case "alpha capacity" `Quick test_codes_alpha_capacity;
+        ] );
+      ( "xset",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_xset_cardinalities;
+          Alcotest.test_case "to_list matches" `Quick test_xset_to_list_matches_cardinality;
+          Alcotest.test_case "mem" `Quick test_xset_mem;
+          Alcotest.test_case "beta" `Quick test_xset_beta;
+          Alcotest.test_case "non-prefix pairs" `Quick test_xset_non_prefix_pairs;
+          Alcotest.test_case "domain" `Quick test_xset_domain;
+          qtest prop_xset_lcp;
+          qtest prop_xset_is_prefix_via_lcp;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "base case" `Quick test_delta_base;
+          Alcotest.test_case "recursion" `Quick test_delta_recursion;
+          Alcotest.test_case "monotone decreasing" `Quick test_delta_monotone;
+          Alcotest.test_case "c_of_f" `Quick test_c_of_f;
+        ] );
+    ]

@@ -1,0 +1,357 @@
+(* Unit and property tests for the stdx utility library. *)
+
+module Rng = Stdx.Rng
+module Bignat = Stdx.Bignat
+module Multiset = Stdx.Multiset
+module Deque = Stdx.Deque
+module Stats = Stdx.Stats
+module Tabular = Stdx.Tabular
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------- Rng ------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check Alcotest.bool "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check Alcotest.bool "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int stays in range"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let test_rng_bool_both_values () =
+  let rng = Rng.create 3 in
+  let seen_true = ref false and seen_false = ref false in
+  for _ = 1 to 200 do
+    if Rng.bool rng then seen_true := true else seen_false := true
+  done;
+  check Alcotest.bool "both" true (!seen_true && !seen_false)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 9 in
+  (* Zero-weight choices must never be picked. *)
+  for _ = 1 to 200 do
+    check Alcotest.string "never zero-weight" "a"
+      (Rng.pick_weighted rng [ ("a", 5); ("b", 0) ])
+  done
+
+let prop_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"Rng.shuffle is a permutation"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ------------------------- Bignat ------------------------- *)
+
+let prop_bignat_int_roundtrip =
+  QCheck.Test.make ~name:"Bignat of_int/to_int roundtrip"
+    QCheck.(int_range 0 max_int)
+    (fun n -> Bignat.to_int (Bignat.of_int n) = Some n)
+
+let prop_bignat_add_matches_int =
+  QCheck.Test.make ~name:"Bignat.add matches int addition"
+    QCheck.(pair (int_range 0 1_000_000_000) (int_range 0 1_000_000_000))
+    (fun (a, b) ->
+      Bignat.to_int (Bignat.add (Bignat.of_int a) (Bignat.of_int b)) = Some (a + b))
+
+let prop_bignat_mul_matches_int =
+  QCheck.Test.make ~name:"Bignat.mul matches int multiplication"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (a, b) ->
+      Bignat.to_int (Bignat.mul (Bignat.of_int a) (Bignat.of_int b)) = Some (a * b))
+
+let prop_bignat_divmod =
+  QCheck.Test.make ~name:"Bignat.divmod_int reconstructs"
+    QCheck.(pair (int_range 0 1_000_000_000) (int_range 1 100_000))
+    (fun (a, k) ->
+      let q, r = Bignat.divmod_int (Bignat.of_int a) k in
+      match Bignat.to_int q with Some q -> (q * k) + r = a && r >= 0 && r < k | None -> false)
+
+let test_bignat_factorial () =
+  check Alcotest.string "20!" "2432902008176640000" (Bignat.to_string (Bignat.factorial 20));
+  check Alcotest.string "25!" "15511210043330985984000000"
+    (Bignat.to_string (Bignat.factorial 25));
+  check Alcotest.string "0!" "1" (Bignat.to_string (Bignat.factorial 0))
+
+let test_bignat_overflow_detection () =
+  check Alcotest.bool "25! does not fit" true (Bignat.to_int (Bignat.factorial 25) = None)
+
+let prop_bignat_compare_total =
+  QCheck.Test.make ~name:"Bignat.compare matches int compare"
+    QCheck.(pair (int_range 0 2_000_000_000) (int_range 0 2_000_000_000))
+    (fun (a, b) ->
+      Bignat.compare (Bignat.of_int a) (Bignat.of_int b) = Int.compare a b)
+
+let test_bignat_zero_one () =
+  check Alcotest.string "zero" "0" (Bignat.to_string Bignat.zero);
+  check Alcotest.string "one" "1" (Bignat.to_string Bignat.one);
+  check Alcotest.bool "0 = of_int 0" true (Bignat.equal Bignat.zero (Bignat.of_int 0))
+
+let test_bignat_mul_int_carry () =
+  (* Exercise the multi-limb carry path. *)
+  let big = Bignat.factorial 30 in
+  let doubled = Bignat.mul_int big 2 in
+  check Alcotest.bool "2*30! = 30!+30!" true (Bignat.equal doubled (Bignat.add big big))
+
+(* ------------------------- Multiset ------------------------- *)
+
+let prop_multiset_counts =
+  QCheck.Test.make ~name:"Multiset.of_list counts occurrences"
+    QCheck.(list (int_range 0 10))
+    (fun xs ->
+      let ms = Multiset.of_list xs in
+      List.for_all
+        (fun x -> Multiset.count ms x = List.length (List.filter (( = ) x) xs))
+        (List.sort_uniq compare xs))
+
+let prop_multiset_roundtrip =
+  QCheck.Test.make ~name:"Multiset to_list/of_list roundtrip (sorted)"
+    QCheck.(list (int_range 0 10))
+    (fun xs -> Multiset.to_list (Multiset.of_list xs) = List.sort compare xs)
+
+let test_multiset_remove () =
+  let ms = Multiset.of_list [ 1; 1; 2 ] in
+  (match Multiset.remove ms 1 with
+  | Some ms' -> check Alcotest.int "count drops" 1 (Multiset.count ms' 1)
+  | None -> Alcotest.fail "remove failed");
+  check Alcotest.bool "remove absent" true (Multiset.remove ms 9 = None)
+
+let test_multiset_remove_to_empty () =
+  let ms = Multiset.of_list [ 5 ] in
+  match Multiset.remove ms 5 with
+  | Some ms' ->
+      check Alcotest.bool "empty" true (Multiset.is_empty ms');
+      check Alcotest.int "support gone" 0 (List.length (Multiset.support ms'))
+  | None -> Alcotest.fail "remove failed"
+
+let prop_multiset_leq =
+  QCheck.Test.make ~name:"Multiset.leq iff pointwise"
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (xs, ys) ->
+      let a = Multiset.of_list xs and b = Multiset.of_list ys in
+      Multiset.leq a b
+      = List.for_all (fun x -> Multiset.count a x <= Multiset.count b x) (List.sort_uniq compare xs))
+
+let prop_multiset_union_adds =
+  QCheck.Test.make ~name:"Multiset.union adds multiplicities"
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (xs, ys) ->
+      let u = Multiset.union (Multiset.of_list xs) (Multiset.of_list ys) in
+      List.for_all
+        (fun x ->
+          Multiset.count u x
+          = List.length (List.filter (( = ) x) xs) + List.length (List.filter (( = ) x) ys))
+        (List.sort_uniq compare (xs @ ys)))
+
+let test_multiset_encode_distinct () =
+  check Alcotest.bool "encode distinguishes" true
+    (Multiset.encode (Multiset.of_list [ 1; 1 ]) <> Multiset.encode (Multiset.of_list [ 1 ]))
+
+let test_multiset_cardinal_distinct () =
+  let ms = Multiset.of_list [ 3; 3; 3; 7 ] in
+  check Alcotest.int "cardinal" 4 (Multiset.cardinal ms);
+  check Alcotest.int "distinct" 2 (Multiset.distinct ms)
+
+let test_multiset_add_times () =
+  let ms = Multiset.add ~times:5 Multiset.empty 2 in
+  check Alcotest.int "times" 5 (Multiset.count ms 2);
+  check Alcotest.bool "times=0 is empty" true (Multiset.is_empty (Multiset.add ~times:0 Multiset.empty 2))
+
+(* ------------------------- Deque ------------------------- *)
+
+let prop_deque_fifo =
+  QCheck.Test.make ~name:"Deque push_back/pop_front is a queue"
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = List.fold_left Deque.push_back Deque.empty xs in
+      let rec drain q acc =
+        match Deque.pop_front q with
+        | Some (x, q') -> drain q' (x :: acc)
+        | None -> List.rev acc
+      in
+      drain q [] = xs)
+
+let prop_deque_to_list =
+  QCheck.Test.make ~name:"Deque.to_list front-to-back"
+    QCheck.(list small_int)
+    (fun xs -> Deque.to_list (Deque.of_list xs) = xs)
+
+let test_deque_push_front () =
+  let q = Deque.push_front (Deque.of_list [ 2; 3 ]) 1 in
+  check (Alcotest.list Alcotest.int) "front insert" [ 1; 2; 3 ] (Deque.to_list q)
+
+let test_deque_length () =
+  check Alcotest.int "length" 3 (Deque.length (Deque.of_list [ 1; 2; 3 ]));
+  check Alcotest.bool "empty" true (Deque.is_empty Deque.empty)
+
+let test_deque_peek () =
+  check (Alcotest.option Alcotest.int) "peek" (Some 9) (Deque.peek_front (Deque.of_list [ 9; 1 ]));
+  check (Alcotest.option Alcotest.int) "peek empty" None (Deque.peek_front Deque.empty)
+
+let test_deque_fold () =
+  check Alcotest.int "fold order" 123
+    (Deque.fold (fun acc x -> (acc * 10) + x) 0 (Deque.of_list [ 1; 2; 3 ]))
+
+(* ------------------------- Stats ------------------------- *)
+
+let test_stats_summary () =
+  match Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] with
+  | None -> Alcotest.fail "summarize failed"
+  | Some s ->
+      check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean;
+      check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+      check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max;
+      check (Alcotest.float 1e-9) "p50" 2.5 s.Stats.p50;
+      check Alcotest.int "n" 4 s.Stats.n
+
+let test_stats_empty () = check Alcotest.bool "empty" true (Stats.summarize [] = None)
+
+let test_stats_single () =
+  match Stats.summarize [ 7.0 ] with
+  | Some s ->
+      check (Alcotest.float 1e-9) "mean" 7.0 s.Stats.mean;
+      check (Alcotest.float 1e-9) "sd" 0.0 s.Stats.stddev
+  | None -> Alcotest.fail "single failed"
+
+let test_stats_percentile () =
+  let sorted = [| 10.0; 20.0; 30.0 |] in
+  check (Alcotest.float 1e-9) "p0" 10.0 (Stats.percentile sorted 0.0);
+  check (Alcotest.float 1e-9) "p100" 30.0 (Stats.percentile sorted 1.0);
+  check (Alcotest.float 1e-9) "p50" 20.0 (Stats.percentile sorted 0.5);
+  check (Alcotest.float 1e-9) "p25 interpolates" 15.0 (Stats.percentile sorted 0.25)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:2 [ 0.0; 1.0; 2.0; 3.0 ] in
+  check Alcotest.int "buckets" 2 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check Alcotest.int "total count" 4 total
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean between min and max"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+(* ------------------------- Tabular ------------------------- *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_tabular_render () =
+  let t = Tabular.create ~title:"T" [ ("a", Tabular.Left); ("b", Tabular.Right) ] in
+  Tabular.add_row t [ "x"; "1" ];
+  Tabular.add_row t [ "longer"; "22" ];
+  let s = Tabular.render t in
+  check Alcotest.bool "contains title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  check Alcotest.bool "contains cell" true (contains_substring s "longer")
+
+let test_tabular_arity () =
+  let t = Tabular.create ~title:"T" [ ("a", Tabular.Left) ] in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Tabular.add_row: arity mismatch")
+    (fun () -> Tabular.add_row t [ "x"; "y" ])
+
+let test_tabular_cells () =
+  check Alcotest.string "int" "42" (Tabular.cell_int 42);
+  check Alcotest.string "float" "3.14" (Tabular.cell_float ~decimals:2 3.14159);
+  check Alcotest.string "bool" "yes" (Tabular.cell_bool true)
+
+let () =
+  Alcotest.run "stdx"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "bool both values" `Quick test_rng_bool_both_values;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "pick_weighted zero weight" `Quick test_rng_pick_weighted;
+          qtest prop_rng_int_range;
+          qtest prop_rng_shuffle_permutes;
+        ] );
+      ( "bignat",
+        [
+          Alcotest.test_case "factorial known values" `Quick test_bignat_factorial;
+          Alcotest.test_case "overflow detection" `Quick test_bignat_overflow_detection;
+          Alcotest.test_case "zero and one" `Quick test_bignat_zero_one;
+          Alcotest.test_case "mul_int carry" `Quick test_bignat_mul_int_carry;
+          qtest prop_bignat_int_roundtrip;
+          qtest prop_bignat_add_matches_int;
+          qtest prop_bignat_mul_matches_int;
+          qtest prop_bignat_divmod;
+          qtest prop_bignat_compare_total;
+        ] );
+      ( "multiset",
+        [
+          Alcotest.test_case "remove" `Quick test_multiset_remove;
+          Alcotest.test_case "remove to empty" `Quick test_multiset_remove_to_empty;
+          Alcotest.test_case "encode distinct" `Quick test_multiset_encode_distinct;
+          Alcotest.test_case "cardinal/distinct" `Quick test_multiset_cardinal_distinct;
+          Alcotest.test_case "add ~times" `Quick test_multiset_add_times;
+          qtest prop_multiset_counts;
+          qtest prop_multiset_roundtrip;
+          qtest prop_multiset_leq;
+          qtest prop_multiset_union_adds;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "push_front" `Quick test_deque_push_front;
+          Alcotest.test_case "length/empty" `Quick test_deque_length;
+          Alcotest.test_case "peek" `Quick test_deque_peek;
+          Alcotest.test_case "fold order" `Quick test_deque_fold;
+          qtest prop_deque_fifo;
+          qtest prop_deque_to_list;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "single" `Quick test_stats_single;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          qtest prop_stats_mean_bounds;
+        ] );
+      ( "tabular",
+        [
+          Alcotest.test_case "render" `Quick test_tabular_render;
+          Alcotest.test_case "arity" `Quick test_tabular_arity;
+          Alcotest.test_case "cells" `Quick test_tabular_cells;
+        ] );
+    ]
