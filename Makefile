@@ -1,0 +1,27 @@
+# Convenience wrappers around dune; see README.md.
+
+.PHONY: all verify test bench bench-smoke clean
+
+all:
+	dune build
+
+# The tier-1 gate: full build plus the whole test battery.
+verify:
+	dune build
+	dune runtest
+
+test: verify
+
+# Full benchmark run: reproduction tables + Bechamel timings.
+bench:
+	dune exec bench/main.exe
+
+# Quick timing pass with a machine-readable artifact; ~a second per
+# benchmark is replaced by a 50ms quota, so the numbers are rough but
+# the plumbing (and the JSON schema) is exercised end to end.
+bench-smoke:
+	dune exec bench/main.exe -- --micro --quota 0.05 --json BENCH_smoke.json
+
+clean:
+	dune clean
+	rm -f BENCH_smoke.json

@@ -8,7 +8,17 @@
 
      dune exec bench/main.exe               # tables + timings
      dune exec bench/main.exe -- --tables   # tables only
-     dune exec bench/main.exe -- --micro    # timings only *)
+     dune exec bench/main.exe -- --micro    # timings only
+
+   Options for the timing pass:
+
+     --json PATH     also write the per-benchmark nanoseconds to PATH
+                     as a machine-readable JSON document
+     --quota SECONDS Bechamel time budget per benchmark (default 1.0;
+                     lower it for a quick smoke run)
+
+   The sweeps honour [STP_JOBS], so e.g. [STP_JOBS=4 ... -- --micro]
+   runs the census benchmark on four domains. *)
 
 open Bechamel
 open Toolkit
@@ -117,7 +127,9 @@ let e8_workload () =
        ~input:[ 0; 1; 1 ] ~strategy:(Kernel.Strategy.fair_random ()) ~trials:5 ~max_steps:2_000
        ())
 
-let e9_workload () = ignore (Core.Census.run ~samples:5 ())
+(* 40 samples ≈ a few ms of classification — big enough that a
+   multicore sweep (STP_JOBS) has real work to split. *)
+let e9_workload () = ignore (Core.Census.run ~samples:40 ())
 
 let e10_workload () =
   ignore
@@ -159,14 +171,50 @@ let tests =
       Test.make ~name:"mu_code_build_m5" (Staged.stage code_build_workload);
     ]
 
-let run_micro () =
+(* Minimal JSON emission: the document is flat (string names, float
+   nanoseconds), so hand-rolling beats pulling in a json library. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~quota rows =
+  let oc = open_out path in
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec;
+  Printf.fprintf oc "  \"quota_seconds\": %g,\n" quota;
+  Printf.fprintf oc "  \"jobs\": %d,\n" (Core.Par.default_jobs ());
+  Printf.fprintf oc "  \"results\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"nanos_per_iter\": %s }"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let run_micro ?json ~quota () =
   Format.printf "=================================================================@.";
   Format.printf "Micro-benchmarks (Bechamel, monotonic clock)@.";
   Format.printf "=================================================================@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ~compaction:false ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ~compaction:false ()
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
@@ -192,11 +240,29 @@ let run_micro () =
     else Printf.sprintf "%.0f ns" ns
   in
   List.iter (fun (name, ns) -> Stdx.Tabular.add_row t [ name; pretty ns ]) rows;
-  Stdx.Tabular.print t
+  Stdx.Tabular.print t;
+  Option.iter (fun path -> write_json path ~quota rows) json
 
 let () =
   let args = Array.to_list Sys.argv in
+  (* Pull out the valued options first; the remaining flags keep the
+     original positional-free behaviour. *)
+  let rec split flags json quota = function
+    | [] -> (List.rev flags, json, quota)
+    | "--json" :: path :: rest -> split flags (Some path) quota rest
+    | "--json" :: [] -> failwith "--json needs a PATH argument"
+    | "--quota" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some q when q > 0.0 -> split flags json q rest
+        | Some _ | None -> failwith "--quota needs a positive number of seconds")
+    | "--quota" :: [] -> failwith "--quota needs a SECONDS argument"
+    | a :: rest -> split (a :: flags) json quota rest
+  in
+  let args, json, quota = split [] None 1.0 (List.tl args) in
+  (* Fail on an unwritable --json path now, not after minutes of
+     benchmarking. *)
+  Option.iter (fun path -> close_out (open_out path)) json;
   let tables = (not (List.mem "--micro" args)) || List.mem "--tables" args in
   let micro = (not (List.mem "--tables" args)) || List.mem "--micro" args in
   if tables then print_tables ();
-  if micro then run_micro ()
+  if micro then run_micro ?json ~quota ()

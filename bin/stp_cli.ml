@@ -94,6 +94,15 @@ let drop_budget_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Core.Par.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the sweep (default: the $(b,STP_JOBS) environment variable, or 1). \
+           Results are identical at every job count.")
+
 let max_steps_arg = Arg.(value & opt int 50_000 & info [ "max-steps" ] ~doc:"Step budget.")
 
 let strategy_arg =
@@ -171,21 +180,51 @@ let simulate_cmd =
 
 (* ---------------- attack ---------------- *)
 
-let attack_run protocol channel domain max_len header_space drop_budget x1 x2 depth single =
+let attack_run protocol channel domain max_len header_space drop_budget x1 x2 xs depth single jobs
+    =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
-  let outcome =
-    if single then Core.Attack.search_single p ~x:x1 ~depth ()
-    else Core.Attack.search_pair p ~x1 ~x2 ~depth ()
+  let describe = function
+    | Core.Attack.Witness w ->
+        Format.asprintf "WITNESS (%s, depth %d, %d joint states)"
+          (match w.Core.Attack.kind with
+          | Core.Attack.Safety { violated_run } -> Printf.sprintf "safety, run %d" violated_run
+          | Core.Attack.Starvation { starved_run } ->
+              Printf.sprintf "starvation, run %d" starved_run)
+          w.Core.Attack.depth w.Core.Attack.states_explored
+    | Core.Attack.No_violation { closed; states_explored } ->
+        Format.asprintf "no violation (%s, %d joint states)"
+          (if closed then "closed" else "truncated")
+          states_explored
   in
-  (match outcome with
-  | Core.Attack.Witness w -> Format.printf "%a@." Core.Attack.pp_witness w
-  | Core.Attack.No_violation { closed; states_explored } ->
-      Format.printf "no violation found (%s, %d joint states)@."
-        (if closed then "state space closed — adversary provably cannot win within the move \
-                         bounds" else "search truncated")
-        states_explored);
-  `Ok ()
+  if xs <> [] then begin
+    (* Sweep mode: every eligible pair from the repeated --x inputs,
+       fanned out over --jobs domains. *)
+    let outcomes, witness = Core.Attack.search p ~xs ~depth ~jobs () in
+    List.iter
+      (fun (a, b, o) ->
+        Format.printf "%a vs %a: %s@." Seqspace.Xset.pp_sequence a Seqspace.Xset.pp_sequence b
+          (describe o))
+      outcomes;
+    (match witness with
+    | Some w -> Format.printf "%a@." Core.Attack.pp_witness w
+    | None -> Format.printf "no witness over %d pairs@." (List.length outcomes));
+    `Ok ()
+  end
+  else begin
+    let outcome =
+      if single then Core.Attack.search_single p ~x:x1 ~depth ()
+      else Core.Attack.search_pair p ~x1 ~x2 ~depth ()
+    in
+    (match outcome with
+    | Core.Attack.Witness w -> Format.printf "%a@." Core.Attack.pp_witness w
+    | Core.Attack.No_violation { closed; states_explored } ->
+        Format.printf "no violation found (%s, %d joint states)@."
+          (if closed then "state space closed — adversary provably cannot win within the move \
+                           bounds" else "search truncated")
+          states_explored);
+    `Ok ()
+  end
 
 let attack_cmd =
   let x1 =
@@ -193,6 +232,15 @@ let attack_cmd =
   in
   let x2 =
     Arg.(value & opt input_conv [ 1; 0 ] & info [ "x2" ] ~doc:"Second input sequence.")
+  in
+  let xs =
+    Arg.(
+      value & opt_all input_conv []
+      & info [ "x" ]
+          ~doc:
+            "Input for an all-pairs sweep (repeatable; use $(b,-x \"\") for the empty sequence). \
+             When given, overrides --x1/--x2 and searches every eligible pair, split across \
+             --jobs.")
   in
   let depth = Arg.(value & opt int 64 & info [ "depth" ] ~doc:"Joint search depth.") in
   let single =
@@ -204,7 +252,7 @@ let attack_cmd =
     Term.(
       ret
         (const attack_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
-       $ header_space_arg $ drop_budget_arg $ x1 $ x2 $ depth $ single))
+       $ header_space_arg $ drop_budget_arg $ x1 $ x2 $ xs $ depth $ single $ jobs_arg))
 
 (* ---------------- knowledge ---------------- *)
 
@@ -313,9 +361,9 @@ let recover_cmd =
 
 (* ---------------- census ---------------- *)
 
-let census_run samples states =
+let census_run samples states jobs =
   let control = Core.Census.control_is_clean () in
-  let r = Core.Census.run ~samples ~states () in
+  let r = Core.Census.run ~samples ~states ~jobs () in
   Format.printf
     "census over %d random non-uniform protocols (m=1, |X|=3 > alpha(1)=2):@.\
      \ \ broken directly: %d@.\ \ witnessed by attack: %d@.\ \ undecided: %d@.\
@@ -331,7 +379,7 @@ let census_cmd =
   let states = Arg.(value & opt int 3 & info [ "states" ] ~doc:"Control states per process.") in
   Cmd.v
     (Cmd.info "census" ~doc:"Sample random protocols at m=1 and classify them (E9).")
-    Term.(ret (const census_run $ samples $ states))
+    Term.(ret (const census_run $ samples $ states $ jobs_arg))
 
 (* ---------------- experiments ---------------- *)
 

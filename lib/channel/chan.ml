@@ -35,6 +35,11 @@ type body =
 type t = {
   k : kind;
   body : body;
+  mutable enc : string option;
+      (* Memoised [encode] of [body].  Channel values are shared across
+         the many globals an explorer branches over, so each distinct
+         body is serialised once.  Benign under parallel sweeps:
+         concurrent writers store the same value. *)
   sent : Multiset.t; (* cumulative counters, not part of the transition state *)
   delivered : Multiset.t;
   dropped : Multiset.t;
@@ -48,7 +53,7 @@ let create k =
     | Reorder_del -> Del Multiset.empty
     | Bounded_reorder { lag } -> Lag { lag; flight = [] }
   in
-  { k; body; sent = Multiset.empty; delivered = Multiset.empty; dropped = Multiset.empty }
+  { k; body; enc = None; sent = Multiset.empty; delivered = Multiset.empty; dropped = Multiset.empty }
 
 let kind t = t.k
 
@@ -60,7 +65,7 @@ let send t m =
     | Del ms -> Del (Multiset.add ms m)
     | Lag l -> Lag { l with flight = l.flight @ [ (m, 0) ] }
   in
-  { t with body; sent = Multiset.add t.sent m }
+  { t with body; enc = None; sent = Multiset.add t.sent m }
 
 (* Delivering (or dropping past) a copy overtakes every older copy
    still in flight; a copy may be overtaken at most [lag] times.  So a
@@ -113,7 +118,10 @@ let deliver t m =
           | Some flight -> Lag { l with flight }
           | None -> assert false)
     in
-    Some { t with body; delivered = Multiset.add t.delivered m }
+    (* A duplicating delivery leaves the body untouched, so its
+       memoised encoding stays valid. *)
+    let enc = match t.body with Dup _ -> t.enc | Fifo _ | Del _ | Lag _ -> None in
+    Some { t with body; enc; delivered = Multiset.add t.delivered m }
   end
 
 let droppable t =
@@ -147,7 +155,7 @@ let drop t m =
           Lag { l with flight = remove [] l.flight }
       | Dup _ -> assert false
     in
-    Some { t with body; dropped = Multiset.add t.dropped m }
+    Some { t with body; enc = None; dropped = Multiset.add t.dropped m }
   end
 
 let dlvrble t =
@@ -182,8 +190,8 @@ let debt t =
   | Del ms -> Multiset.cardinal ms
   | Lag { flight; _ } -> List.length flight
 
-let encode t =
-  match t.body with
+let encode_body body =
+  match body with
   | Fifo q ->
       let buf = Buffer.create 16 in
       Buffer.add_char buf 'F';
@@ -206,6 +214,14 @@ let encode t =
           Buffer.add_char buf ',')
         flight;
       Buffer.contents buf
+
+let encode t =
+  match t.enc with
+  | Some s -> s
+  | None ->
+      let s = encode_body t.body in
+      t.enc <- Some s;
+      s
 
 let pp ppf t =
   match t.body with

@@ -25,16 +25,38 @@ type outcome =
   | Witness of witness
   | No_violation of { closed : bool; states_explored : int }
 
+(* Joint states are keyed by pairs of interned ids: each run's global
+   state is hash-consed (by its canonical encoding) into a compact int
+   the moment it is first generated, and every table, queue, and parent
+   pointer in the search works over [(int * int)] keys from then on.
+   The encoding string — which embeds marshalled process states — is
+   built at most once per generated successor, and not at all for the
+   side an [Only1]/[Only2] move leaves untouched (that side inherits
+   the parent's id). *)
+type key = int * int
+
 type node = {
   g1 : Global.t;
   g2 : Global.t;
-  parent : (string * joint_move) option;
+  parent : (key * joint_move) option;
   node_depth : int;
+  mutable edges : (joint_move * key) list;
+      (* Expansion cache: the node's non-violating [(move, successor)]
+         list, filled when the BFS expands it.  The starvation pass
+         reuses it instead of re-running [Sim.apply] over the whole
+         closed table a second time. *)
 }
 
-let joint_key (g1 : Global.t) (g2 : Global.t) = Global.encode g1 ^ "##" ^ Global.encode g2
-
-let intersect xs ys = List.filter (fun x -> List.mem x ys) xs
+(* Both arguments ascending (the [Chan.deliverable] contract): a
+   sorted merge instead of the quadratic [List.mem] scan. *)
+let intersect xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> []
+    | x :: xs', y :: ys' ->
+        if x = y then x :: go xs' ys' else if x < y then go xs' ys else go xs ys'
+  in
+  go xs ys
 
 (* Candidate joint moves from a joint state.  Receiver-visible moves
    are synchronised; sender-side moves act on one run. *)
@@ -91,6 +113,8 @@ let apply_joint p (g1 : Global.t) (g2 : Global.t) = function
    analysis: a fair cycle must not owe its progress to the adversary
    eating messages, and the adversary is free never to play them. *)
 module Starved = struct
+  let no_key : key = (-1, -1)
+
   type comp_stats = {
     mutable wake1 : bool;
     mutable wake2 : bool;
@@ -99,9 +123,9 @@ module Starved = struct
     mutable ack1 : IntSet.t;
     mutable ack2 : IntSet.t;
     mutable has_edge : bool;
-    mutable debt0_key_1 : string option; (* a state with run-1 channels empty *)
-    mutable debt0_key_2 : string option;
-    mutable rep : string;
+    mutable debt0_key_1 : key option; (* a state with run-1 channels empty *)
+    mutable debt0_key_2 : key option;
+    mutable rep : key;
   }
 
   let fresh_stats rep =
@@ -180,13 +204,13 @@ module Starved = struct
   let find ~table_keys ~expand ~channel =
     (* Index the states. *)
     let keys = ref [] in
-    let globals = Hashtbl.create 1024 in
+    let globals : (key, Global.t * Global.t) Hashtbl.t = Hashtbl.create 1024 in
     table_keys (fun key g1 g2 ->
         keys := key :: !keys;
         Hashtbl.replace globals key (g1, g2));
     let key_arr = Array.of_list !keys in
     let n = Array.length key_arr in
-    let idx_of = Hashtbl.create n in
+    let idx_of : (key, int) Hashtbl.t = Hashtbl.create n in
     Array.iteri (fun i k -> Hashtbl.replace idx_of k i) key_arr;
     let is_drop = function
       | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> true
@@ -208,8 +232,10 @@ module Starved = struct
         edges
     in
     let comp, n_comps = tarjan n succs in
-    let stats = Array.init n_comps (fun _ -> fresh_stats "") in
-    Array.iteri (fun i k -> if stats.(comp.(i)).rep = "" then stats.(comp.(i)).rep <- k) key_arr;
+    let stats = Array.init n_comps (fun _ -> fresh_stats no_key) in
+    Array.iteri
+      (fun i k -> if stats.(comp.(i)).rep = no_key then stats.(comp.(i)).rep <- k)
+      key_arr;
     (* Intra-component edge statistics. *)
     Array.iteri
       (fun u es ->
@@ -288,12 +314,14 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
-  let table : (string, node) Hashtbl.t = Hashtbl.create 4096 in
-  let queue = Queue.create () in
+  let intern = Stdx.Intern.create ~size:64 () in
+  let gid g = Stdx.Intern.id intern (Global.encode g) in
+  let table : (key, node) Hashtbl.t = Hashtbl.create 64 in
+  let queue : key Queue.t = Queue.create () in
   let g1_0 = Global.initial p ~input:(Array.of_list x1) in
   let g2_0 = Global.initial p ~input:(Array.of_list x2) in
-  let key0 = joint_key g1_0 g2_0 in
-  Hashtbl.replace table key0 { g1 = g1_0; g2 = g2_0; parent = None; node_depth = 0 };
+  let key0 = (gid g1_0, gid g2_0) in
+  Hashtbl.replace table key0 { g1 = g1_0; g2 = g2_0; parent = None; node_depth = 0; edges = [] };
   Queue.push key0 queue;
   let result = ref None in
   let truncated = ref false in
@@ -310,19 +338,35 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
     let key = Queue.pop queue in
     let node = Hashtbl.find table key in
     if node.node_depth >= depth then truncated := true
-    else
+    else begin
+      let edges = ref [] in
       List.iter
         (fun jm ->
           if !result = None then begin
             match apply_joint p node.g1 node.g2 jm with
             | exception Sim.Model_violation _ -> ()
             | g1', g2' ->
-                let key' = joint_key g1' g2' in
+                (* An [Only1]/[Only2] move leaves the other run's state
+                   physically unchanged: reuse the parent's id for that
+                   side instead of re-encoding it. *)
+                let key' =
+                  match jm with
+                  | Sync _ -> (gid g1', gid g2')
+                  | Only1 _ -> (gid g1', snd key)
+                  | Only2 _ -> (fst key, gid g2')
+                in
+                edges := (jm, key') :: !edges;
                 if not (Hashtbl.mem table key') then begin
                   if Hashtbl.length table >= max_states then truncated := true
                   else begin
                     let node' =
-                      { g1 = g1'; g2 = g2'; parent = Some (key, jm); node_depth = node.node_depth + 1 }
+                      {
+                        g1 = g1';
+                        g2 = g2';
+                        parent = Some (key, jm);
+                        node_depth = node.node_depth + 1;
+                        edges = [];
+                      }
                     in
                     Hashtbl.replace table key' node';
                     check_safety key' node';
@@ -331,7 +375,9 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
                 end
           end)
         (expansions ~allow_drops ~send_cap:max_sends_per_sender
-           ~recv_cap:max_sends_per_receiver node.g1 node.g2)
+           ~recv_cap:max_sends_per_receiver node.g1 node.g2);
+      node.edges <- List.rev !edges
+    end
   done;
   let states_explored = Hashtbl.length table in
   match !result with
@@ -350,18 +396,13 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
            keep being scheduled and everything it sends keeps being
            delivered — while the (frozen) output leaves that run
            incomplete.  Projected on that run, the lasso is a fair run
-           violating liveness. *)
+           violating liveness.  Every node of the closed graph was
+           expanded by the BFS, so its cached edges are the full
+           (non-violating) successor list — no second [Sim.apply]
+           sweep. *)
         match
           Starved.find ~table_keys:(fun f -> Hashtbl.iter (fun k n -> f k n.g1 n.g2) table)
-            ~expand:(fun key ->
-              let node = Hashtbl.find table key in
-              List.filter_map
-                (fun jm ->
-                  match apply_joint p node.g1 node.g2 jm with
-                  | exception Sim.Model_violation _ -> None
-                  | g1', g2' -> Some (jm, joint_key g1' g2'))
-                (expansions ~allow_drops ~send_cap:max_sends_per_sender
-                   ~recv_cap:max_sends_per_receiver node.g1 node.g2))
+            ~expand:(fun key -> (Hashtbl.find table key).edges)
             ~channel:p.Protocol.channel
         with
         | Some (key, starved_run) ->
@@ -383,12 +424,14 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
-  let table : (string, Global.t * (string * Move.t) option * int) Hashtbl.t =
-    Hashtbl.create 4096
+  let intern = Stdx.Intern.create ~size:64 () in
+  let gid g = Stdx.Intern.id intern (Global.encode g) in
+  let table : (int, Global.t * (int * Move.t) option * int) Hashtbl.t =
+    Hashtbl.create 64
   in
   let queue = Queue.create () in
   let g0 = Global.initial p ~input:(Array.of_list x) in
-  let key0 = Global.encode g0 in
+  let key0 = gid g0 in
   Hashtbl.replace table key0 (g0, None, 0);
   Queue.push key0 queue;
   let result = ref None in
@@ -410,7 +453,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
             in
             if keep then begin
               let g' = Sim.apply p g move in
-              let key' = Global.encode g' in
+              let key' = gid g' in
               if not (Hashtbl.mem table key') then begin
                 if Hashtbl.length table >= max_states then truncated := true
                 else begin
@@ -444,7 +487,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
   | None -> No_violation { closed = not !truncated; states_explored }
 
 let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
-    ?max_sends_per_receiver () =
+    ?max_sends_per_receiver ?jobs () =
   let rec pairs = function
     | [] -> []
     | x :: rest ->
@@ -453,8 +496,12 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
           rest
         @ pairs rest
   in
+  (* Pairs are independent searches over disjoint tables — the
+     embarrassingly parallel outer loop.  Par.map preserves order, so
+     the outcome list and the first witness are identical at any job
+     count. *)
   let outcomes =
-    List.map
+    Par.map ?jobs
       (fun (x1, x2) ->
         ( x1,
           x2,

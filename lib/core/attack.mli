@@ -25,7 +25,16 @@
     common prefix is a {b starvation witness}: the adversary can keep
     one run's receiver ignorant forever while honouring that run's
     fairness.  For protocols meeting the [α(m)] bound the search
-    closes with neither — the experimental face of tightness. *)
+    closes with neither — the experimental face of tightness.
+
+    Engine internals: both searches hash-cons every generated global
+    state into a compact int id ({!Stdx.Intern}) and key their tables,
+    queues, and parent pointers on those ids — [(int * int)] pairs for
+    the joint search — so the long canonical encodings are built at
+    most once per generated state and never re-hashed.  The joint BFS
+    additionally caches each node's expansion; the starvation pass
+    consumes the cached graph instead of re-simulating the closed
+    table. *)
 
 type joint_move =
   | Sync of Kernel.Move.t  (** receiver-visible; applied to both runs *)
@@ -103,13 +112,17 @@ val search :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?jobs:int ->
   unit ->
   (int list * int list * outcome) list * witness option
 (** Runs {!search_pair} on every unordered pair of distinct sequences
     in [xs] where neither is a prefix of the other (prefix pairs
     cannot produce safety witnesses — the shorter input is consistent
     with everything the receiver sees).  Returns all per-pair
-    outcomes and the first witness found, if any. *)
+    outcomes and the first witness found, if any.  [jobs] (default:
+    [STP_JOBS] or 1) fans the independent pair searches out over that
+    many domains via {!Par.map}; the outcomes and first witness are
+    identical at every job count. *)
 
 val run_moves : witness -> which:int -> Kernel.Move.t list
 (** Project the joint path onto one run's schedule ([which] ∈ {1,2}) —

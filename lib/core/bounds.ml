@@ -8,19 +8,19 @@ type measurement = {
   total_learning_time : int option;
 }
 
-let measure p ~xs ~strategy ~seeds ~max_steps ?(post_roll = 40) () =
+let measure p ~xs ~strategy ~seeds ~max_steps ?(post_roll = 40) ?jobs () =
+  (* Each (input, seed) run is independent — own rng, stateless
+     strategy — so the simulation sweep fans out over domains; the
+     universe build below stays sequential. *)
   let runs =
-    List.concat_map
-      (fun input ->
-        List.map
-          (fun seed ->
-            let r =
-              Runner.run p ~input:(Array.of_list input) ~strategy
-                ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ()
-            in
-            (input, r.Runner.trace))
-          seeds)
-      xs
+    Par.map ?jobs
+      (fun (input, seed) ->
+        let r =
+          Runner.run p ~input:(Array.of_list input) ~strategy
+            ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ()
+        in
+        (input, r.Runner.trace))
+      (List.concat_map (fun input -> List.map (fun seed -> (input, seed)) seeds) xs)
   in
   let universe = Knowledge.Universe.of_traces (List.map snd runs) in
   List.mapi

@@ -27,13 +27,17 @@ val measure :
   seeds:int list ->
   max_steps:int ->
   ?post_roll:int ->
+  ?jobs:int ->
   unit ->
   measurement list
 (** One measurement per (input, seed): runs every input under every
     seed, pools *all* traces into one universe (so indistinguishable
     views across inputs properly mask knowledge), and reads learning
     times per run.  [post_roll] (default 40) keeps recording after the
-    output completes so late knowledge still lands inside the trace. *)
+    output completes so late knowledge still lands inside the trace.
+    [jobs] (default: [STP_JOBS] or 1) parallelises the independent
+    seeded runs via {!Par.map}; results are order-stable across job
+    counts. *)
 
 val gap_by_length : measurement list -> (int * Stdx.Stats.summary) list
 (** Group measurements by input length; summarise the max gap of each.

@@ -91,18 +91,24 @@ let classify p =
     | Attack.No_violation { closed = false; _ } -> Undecided
   end
 
-let run ~samples ?(states = 3) ?(seed = 1) () =
+let run ~samples ?(states = 3) ?(seed = 1) ?jobs () =
+  (* Sampling stays sequential (one rng stream, same protocols at any
+     job count); classification — battery plus attack search, each
+     with its own per-seed rngs — fans out over domains. *)
   let rng = Stdx.Rng.create seed in
-  let report = ref { samples; broken_directly = 0; witnessed = 0; undecided = 0; survivors = 0 } in
-  for _ = 1 to samples do
-    let r = !report in
-    match classify (sample_protocol rng ~states) with
-    | Broken_directly -> report := { r with broken_directly = r.broken_directly + 1 }
-    | Witnessed -> report := { r with witnessed = r.witnessed + 1 }
-    | Undecided -> report := { r with undecided = r.undecided + 1 }
-    | Survivor -> report := { r with survivors = r.survivors + 1 }
-  done;
-  !report
+  let rec draw n acc =
+    if n = 0 then List.rev acc else draw (n - 1) (sample_protocol rng ~states :: acc)
+  in
+  let classes = Par.map ?jobs classify (draw samples []) in
+  List.fold_left
+    (fun r c ->
+      match c with
+      | Broken_directly -> { r with broken_directly = r.broken_directly + 1 }
+      | Witnessed -> { r with witnessed = r.witnessed + 1 }
+      | Undecided -> { r with undecided = r.undecided + 1 }
+      | Survivor -> { r with survivors = r.survivors + 1 })
+    { samples; broken_directly = 0; witnessed = 0; undecided = 0; survivors = 0 }
+    classes
 
 (* The at-the-bound control: 𝒳 = {⟨⟩, ⟨0⟩}, m = 1.  Sender: send the
    single symbol iff the input is non-empty; receiver: write 0 on the

@@ -47,9 +47,12 @@ val classify : Kernel.Protocol.t -> classification
 (** The battery-then-attack classifier described above, over
     [𝒳 = {⟨⟩, ⟨0⟩, ⟨1⟩}]. *)
 
-val run : samples:int -> ?states:int -> ?seed:int -> unit -> report
+val run : samples:int -> ?states:int -> ?seed:int -> ?jobs:int -> unit -> report
 (** [run ~samples ()] samples and classifies.  [states] defaults to 3,
-    [seed] to 1. *)
+    [seed] to 1.  [jobs] (default: [STP_JOBS] or 1) parallelises the
+    per-sample classification over that many domains; sampling itself
+    stays sequential on one rng stream, so the report is identical at
+    every job count. *)
 
 val control_is_clean : unit -> bool
 (** The at-the-bound control: a hand-written solution to

@@ -1,0 +1,94 @@
+let default_jobs () =
+  match Sys.getenv_opt "STP_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | Some _ | None -> 1)
+
+(* Persistent worker pool.  [Domain.spawn] costs ~1ms on a typical
+   box, which would swamp the sub-millisecond sweeps this module
+   exists to speed up, so domains are spawned once (on demand, up to
+   the largest job count ever requested) and parked on a condition
+   variable between batches.  The pool is never torn down: parked
+   domains hold no batch state and die with the process. *)
+
+let pool_mutex = Mutex.create ()
+let pool_nonempty = Condition.create ()
+let pool_queue : (unit -> unit) Queue.t = Queue.create ()
+let pool_size = ref 0
+
+let worker_loop () =
+  while true do
+    Mutex.lock pool_mutex;
+    while Queue.is_empty pool_queue do
+      Condition.wait pool_nonempty pool_mutex
+    done;
+    let job = Queue.pop pool_queue in
+    Mutex.unlock pool_mutex;
+    job ()
+  done
+
+(* Enqueue [k] copies of [job], growing the pool to [k] workers
+   first.  Each copy is a pull-loop over the batch's shared cursor, so
+   it is correct for any number of them to run (or for a stale worker
+   to pick one up late — the cursor is already drained and the copy
+   exits immediately). *)
+let submit k job =
+  Mutex.lock pool_mutex;
+  let missing = k - !pool_size in
+  if missing > 0 then pool_size := k;
+  for _ = 1 to k do
+    Queue.push job pool_queue
+  done;
+  Condition.broadcast pool_nonempty;
+  Mutex.unlock pool_mutex;
+  for _ = 1 to missing do
+    ignore (Domain.spawn worker_loop : unit Domain.t)
+  done
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+      let tasks = Array.of_list xs in
+      let n = Array.length tasks in
+      let jobs = min jobs n in
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let outstanding = ref jobs in
+      let participate () =
+        (try
+           let continue = ref true in
+           while !continue do
+             let i = Atomic.fetch_and_add cursor 1 in
+             if i >= n || Atomic.get failure <> None then continue := false
+             else
+               match f tasks.(i) with
+               | v -> results.(i) <- Some v
+               | exception e ->
+                   ignore (Atomic.compare_and_set failure None (Some e));
+                   continue := false
+           done
+         with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        Mutex.lock done_mutex;
+        decr outstanding;
+        if !outstanding = 0 then Condition.broadcast done_cond;
+        Mutex.unlock done_mutex
+      in
+      (* The calling domain is worker number [jobs]; the pool runs the
+         rest.  The batch is finished only when every participant has
+         stopped touching it, which is what [outstanding] counts. *)
+      submit (jobs - 1) participate;
+      participate ();
+      Mutex.lock done_mutex;
+      while !outstanding > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.to_list (Array.map (function Some v -> v | None -> assert false) results)

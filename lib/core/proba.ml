@@ -34,9 +34,8 @@ let of_counts ~trials ~safety_failures ~liveness_failures =
     wilson_upper = wilson_upper ~failures ~trials;
   }
 
-let estimate p ~input ~strategy ~trials ~max_steps ?(seed = 1) ?(post_roll = 25) () =
-  let safety = ref 0 and liveness = ref 0 in
-  for i = 0 to trials - 1 do
+let estimate p ~input ~strategy ~trials ~max_steps ?(seed = 1) ?(post_roll = 25) ?jobs () =
+  let trial i =
     let r =
       (* The post-roll keeps the run alive past completion: stale
          deliveries that overshoot the output tape are failures too,
@@ -46,16 +45,21 @@ let estimate p ~input ~strategy ~trials ~max_steps ?(seed = 1) ?(post_roll = 25)
         ~max_steps ~post_roll ()
     in
     let trace = r.Runner.trace in
-    if Trace.first_safety_violation trace <> None then incr safety
-    else if Trace.completed_at trace = None then incr liveness
-  done;
-  of_counts ~trials ~safety_failures:!safety ~liveness_failures:!liveness
+    if Trace.first_safety_violation trace <> None then `Safety
+    else if Trace.completed_at trace = None then `Liveness
+    else `Ok
+  in
+  (* Trials are seeded independently by index, so the Monte-Carlo loop
+     fans out over domains with bit-identical counts. *)
+  let outcomes = Par.map ?jobs trial (List.init trials Fun.id) in
+  let count k = List.length (List.filter (( = ) k) outcomes) in
+  of_counts ~trials ~safety_failures:(count `Safety) ~liveness_failures:(count `Liveness)
 
-let failure_by_length p ~inputs ~strategy ~trials ~max_steps ?(seed = 1) ?post_roll () =
+let failure_by_length p ~inputs ~strategy ~trials ~max_steps ?(seed = 1) ?post_roll ?jobs () =
   let by_len = Hashtbl.create 8 in
   List.iter
     (fun input ->
-      let e = estimate p ~input ~strategy ~trials ~max_steps ~seed ?post_roll () in
+      let e = estimate p ~input ~strategy ~trials ~max_steps ~seed ?post_roll ?jobs () in
       let len = List.length input in
       let acc =
         Option.value ~default:(0, 0, 0) (Hashtbl.find_opt by_len len)

@@ -38,12 +38,15 @@ val estimate :
   max_steps:int ->
   ?seed:int ->
   ?post_roll:int ->
+  ?jobs:int ->
   unit ->
   estimate
 (** Monte-Carlo over independent seeded schedules.  [post_roll]
     (default 25) keeps each run alive past completion so overshoot
     violations (stale deliveries writing past the end of the input)
-    are counted. *)
+    are counted.  [jobs] (default: [STP_JOBS] or 1) fans the
+    independently seeded trials out over domains; counts are identical
+    at every job count. *)
 
 val failure_by_length :
   Kernel.Protocol.t ->
@@ -53,6 +56,7 @@ val failure_by_length :
   max_steps:int ->
   ?seed:int ->
   ?post_roll:int ->
+  ?jobs:int ->
   unit ->
   (int * estimate) list
 (** Group the inputs by length and pool the per-length estimates —

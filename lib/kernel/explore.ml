@@ -10,10 +10,13 @@ type stats = {
 let all_moves _g _m = true
 
 let reachable p ~input ~depth ?(move_filter = all_moves) () =
-  let seen = Hashtbl.create 1024 in
+  (* The intern table doubles as the seen-set: a state is new exactly
+     when its encoding gets a fresh id, and the BFS never touches the
+     (long) encoding string again afterwards. *)
+  let seen = Stdx.Intern.create () in
   let queue = Queue.create () in
   let g0 = Global.initial p ~input in
-  Hashtbl.replace seen (Global.encode g0) ();
+  ignore (Stdx.Intern.intern seen (Global.encode g0));
   Queue.push (g0, 0) queue;
   let transitions = ref 0 in
   let violations = ref 0 in
@@ -28,9 +31,8 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
           if move_filter g move then begin
             incr transitions;
             let g' = Sim.apply p g move in
-            let key = Global.encode g' in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.replace seen key ();
+            let _, fresh = Stdx.Intern.intern seen (Global.encode g') in
+            if fresh then begin
               if not (Global.safety_ok g') then incr violations;
               if Global.complete g' then incr completes;
               Queue.push (g', d + 1) queue
@@ -39,7 +41,7 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
         (Sim.enabled p g)
   done;
   {
-    states = Hashtbl.length seen;
+    states = Stdx.Intern.length seen;
     transitions = !transitions;
     safety_violations = !violations;
     complete_states = !completes;

@@ -9,6 +9,8 @@ type t = {
   chan_sr : Chan.t;
   chan_rs : Chan.t;
   output_rev : int list;
+  output_len : int;
+  output_ok : bool;
   time : int;
 }
 
@@ -22,21 +24,27 @@ let initial (p : Protocol.t) ~input =
     chan_sr = Chan.create p.Protocol.channel;
     chan_rs = Chan.create p.Protocol.channel;
     output_rev = [];
+    output_len = 0;
+    output_ok = true;
     time = 0;
   }
 
 let output t = List.rev t.output_rev
 
-let output_length t = List.length t.output_rev
+let output_length t = t.output_len
 
-let safety_ok t =
-  let n = Array.length t.input in
-  let rec check i = function
-    | [] -> true
-    | d :: older -> i < n && t.input.(i) = d && check (i - 1) older
-  in
-  (* output_rev is newest first: the newest item sits at index |Y|−1. *)
-  check (List.length t.output_rev - 1) t.output_rev
+(* [output_len] and [output_ok] are maintained incrementally by the
+   simulator on every Write, so the per-step safety check is O(1)
+   instead of rescanning the output tape. *)
+let safety_ok t = t.output_ok
+
+let write t d =
+  {
+    t with
+    output_rev = d :: t.output_rev;
+    output_len = t.output_len + 1;
+    output_ok = t.output_ok && t.output_len < Array.length t.input && t.input.(t.output_len) = d;
+  }
 
 let complete t = output_length t = Array.length t.input
 

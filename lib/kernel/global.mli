@@ -15,6 +15,10 @@ type t = {
   chan_sr : Channel.Chan.t;  (** sender → receiver channel *)
   chan_rs : Channel.Chan.t;  (** receiver → sender channel *)
   output_rev : int list;  (** the output tape [Y], newest first *)
+  output_len : int;  (** [List.length output_rev], maintained on Write *)
+  output_ok : bool;
+      (** whether [Y] is a prefix of [X], maintained on Write — makes
+          the per-step safety check O(1) instead of a tape rescan *)
   time : int;  (** number of moves taken from the initial state *)
 }
 
@@ -28,7 +32,14 @@ val output : t -> int list
 val output_length : t -> int
 
 val safety_ok : t -> bool
-(** Whether [Y] is currently a prefix of [X] — the Safety condition. *)
+(** Whether [Y] is currently a prefix of [X] — the Safety condition.
+    O(1): reads the incrementally maintained [output_ok] field. *)
+
+val write : t -> int -> t
+(** [write t d] appends [d] to the output tape, maintaining
+    [output_len] and [output_ok].  The only legal way to extend the
+    tape — the simulator routes every receiver [Write] action through
+    it. *)
 
 val complete : t -> bool
 (** Whether [|Y| = |X|]: every data item has been written. *)

@@ -3,15 +3,30 @@ type t =
       state : 's;
       step : 's -> Event.t -> 's * Action.t list;
       encode : 's -> string;
+      mutable enc : string option;
+          (* Memoised [encode state].  Process values are physically
+             shared across the many global states the explorers branch
+             over, so each distinct process state is serialised once
+             instead of once per state-table probe.  Benign under
+             parallel sweeps: concurrent writers store the same
+             value. *)
     }
       -> t
 
 let default_encode s = Marshal.to_string s []
 
-let make ?(encode = default_encode) ~state ~step () = Proc { state; step; encode }
+let make ?(encode = default_encode) ~state ~step () = Proc { state; step; encode; enc = None }
 
-let step (Proc p) event =
+let step (Proc p as t) event =
   let state, actions = p.step p.state event in
-  (Proc { p with state }, actions)
+  (* A self-loop step keeps the same process value (and its memoised
+     encoding) instead of allocating an identical copy. *)
+  ((if state == p.state then t else Proc { p with state; enc = None }), actions)
 
-let encode (Proc p) = p.encode p.state
+let encode (Proc p) =
+  match p.enc with
+  | Some s -> s
+  | None ->
+      let s = p.encode p.state in
+      p.enc <- Some s;
+      s

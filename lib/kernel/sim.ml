@@ -37,8 +37,7 @@ let step_receiver (p : Protocol.t) (g : Global.t) event =
       match action with
       | Action.Send m ->
           { g with chan_rs = Chan.send g.chan_rs m; r_hist = Hist.add_action g.r_hist action }
-      | Action.Write d ->
-          { g with output_rev = d :: g.output_rev; r_hist = Hist.add_action g.r_hist action })
+      | Action.Write d -> { (Global.write g d) with r_hist = Hist.add_action g.r_hist action })
     g actions
 
 let apply (p : Protocol.t) (g : Global.t) move =

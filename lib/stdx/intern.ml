@@ -1,0 +1,33 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (* names.(i) is the string with id i, for i < n *)
+  mutable n : int;
+}
+
+let create ?(size = 1024) () = { ids = Hashtbl.create size; names = Array.make 64 ""; n = 0 }
+
+let intern t s =
+  match Hashtbl.find t.ids s with
+  | id -> (id, false)
+  | exception Not_found ->
+      let id = t.n in
+      Hashtbl.replace t.ids s id;
+      let cap = Array.length t.names in
+      if id >= cap then begin
+        let grown = Array.make (2 * cap) "" in
+        Array.blit t.names 0 grown 0 cap;
+        t.names <- grown
+      end;
+      t.names.(id) <- s;
+      t.n <- id + 1;
+      (id, true)
+
+let id t s = fst (intern t s)
+
+let find_opt t s = Hashtbl.find_opt t.ids s
+
+let name t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Intern.name: id %d not allocated" i);
+  t.names.(i)
+
+let length t = t.n

@@ -1,0 +1,43 @@
+(** Hash-consing of string fingerprints into compact integer ids.
+
+    The state-space engines key their tables and queues on canonical
+    string encodings ({!Kernel.Global.encode} and friends).  Those
+    strings are long — they embed marshalled process states — so using
+    them directly as hash keys means every lookup re-hashes the whole
+    fingerprint and every comparison walks it.  An [Intern.t] assigns
+    each distinct string a dense id ([0, 1, 2, …] in first-seen
+    order); the searches then work over ints (or pairs of ints for
+    joint states), touching the string exactly once per distinct
+    state.
+
+    Ids are stable for the lifetime of the table: interning the same
+    string twice returns the same id, and [name] recovers the string
+    (the round-trip the unit tests pin down).  A table is not
+    thread-safe; the parallel sweeps in {!Core.Par} keep one table per
+    task. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** Fresh empty table.  [size] is the initial hash-table capacity
+    (default 1024). *)
+
+val intern : t -> string -> int * bool
+(** [intern t s] returns [(id, fresh)]: the id for [s], allocating the
+    next dense id when [s] is new ([fresh = true]).  The single-lookup
+    combination of membership test and id allocation the BFS loops
+    want. *)
+
+val id : t -> string -> int
+(** [id t s = fst (intern t s)]. *)
+
+val find_opt : t -> string -> int option
+(** The id of [s] if already interned; never allocates. *)
+
+val name : t -> int -> string
+(** The string that was assigned this id.
+    @raise Invalid_argument if the id was never allocated. *)
+
+val length : t -> int
+(** Number of distinct strings interned so far; also the next fresh
+    id. *)

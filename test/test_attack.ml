@@ -214,6 +214,67 @@ let test_bounds_measure_shapes () =
   let by_len = Core.Bounds.gap_by_length ms in
   check Alcotest.bool "grouped" true (List.length by_len >= 1)
 
+(* ------------------------- engine baselines ------------------------- *)
+
+(* Recorded against the pre-interning string-keyed engine on the E2,
+   E3 and E10 fixtures.  These pin the BFS semantics across engine
+   rewrites: the states-explored counts and witness kinds must never
+   move.  Safety-witness depths are BFS-minimal and therefore also
+   pinned; starvation representatives depend on table iteration order,
+   so E3's depth is deliberately left free. *)
+
+let test_e2_baseline () =
+  let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  let w = witness_exn (Attack.search_pair p ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ()) in
+  (match w.Attack.kind with
+  | Attack.Safety { violated_run } -> check Alcotest.int "violated run" 1 violated_run
+  | Attack.Starvation _ -> Alcotest.fail "expected safety");
+  check Alcotest.int "depth" 4 w.Attack.depth;
+  check Alcotest.int "states explored" 9 w.Attack.states_explored
+
+let test_e3_baseline () =
+  let w =
+    witness_exn
+      (Attack.search_pair (Protocols.Norep.del ~m:2) ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200
+         ~max_sends_per_sender:4 ~max_sends_per_receiver:4 ())
+  in
+  (match w.Attack.kind with
+  | Attack.Starvation { starved_run } -> check Alcotest.int "starved run" 2 starved_run
+  | Attack.Safety _ -> Alcotest.fail "expected starvation");
+  check Alcotest.int "states explored" 4084 w.Attack.states_explored
+
+let test_e10_baseline () =
+  let p =
+    Protocols.Stenning_mod.protocol_on (Chan.Bounded_reorder { lag = 1 }) ~domain:2
+      ~header_space:2
+  in
+  let w =
+    witness_exn
+      (Attack.search_single p ~x:[ 0; 0; 1 ] ~depth:80 ~max_sends_per_sender:8
+         ~max_sends_per_receiver:8 ~allow_drops:false ())
+  in
+  (match w.Attack.kind with
+  | Attack.Safety { violated_run } -> check Alcotest.int "violated run" 1 violated_run
+  | Attack.Starvation _ -> Alcotest.fail "expected safety");
+  check Alcotest.int "depth" 7 w.Attack.depth;
+  check Alcotest.int "states explored" 69 w.Attack.states_explored
+
+let test_search_jobs_equivalence () =
+  let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  let xs = [ [ 0; 1 ]; [ 1; 0 ]; [ 1 ]; [ 0 ] ] in
+  let strip (a, b, o) =
+    ( a,
+      b,
+      match o with
+      | Attack.Witness w -> `W (w.Attack.kind, w.Attack.depth, w.Attack.states_explored)
+      | Attack.No_violation { closed; states_explored } -> `N (closed, states_explored) )
+  in
+  let o1, w1 = Attack.search p ~xs ~jobs:1 () in
+  let o4, w4 = Attack.search p ~xs ~jobs:4 () in
+  check Alcotest.bool "outcomes identical" true (List.map strip o1 = List.map strip o4);
+  check Alcotest.bool "first witness identical" true
+    (Option.map (fun w -> w.Attack.kind) w1 = Option.map (fun w -> w.Attack.kind) w4)
+
 let () =
   Alcotest.run "attack"
     [
@@ -239,6 +300,13 @@ let () =
           Alcotest.test_case "dup starves the repeat" `Quick test_norep_dup_starvation_beyond_bound;
           Alcotest.test_case "del starves the repeat" `Quick test_norep_del_starvation_beyond_bound;
           Alcotest.test_case "prefix pairs excluded" `Quick test_prefix_pairs_excluded;
+        ] );
+      ( "engine baselines",
+        [
+          Alcotest.test_case "e2 dup attack" `Quick test_e2_baseline;
+          Alcotest.test_case "e3 del attack" `Quick test_e3_baseline;
+          Alcotest.test_case "e10 crossover cell" `Quick test_e10_baseline;
+          Alcotest.test_case "jobs-invariant sweep" `Quick test_search_jobs_equivalence;
         ] );
       ( "search controls",
         [

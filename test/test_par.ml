@@ -1,0 +1,87 @@
+(* Tests for the multicore fan-out: Par.map must be a drop-in
+   List.map at every job count, and the sweeps built on it must
+   produce bit-identical reports whether they run on one domain or
+   several. *)
+
+module Par = Core.Par
+
+let check = Alcotest.check
+
+let test_map_is_list_map () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.(list int)
+        (Printf.sprintf "jobs=%d" jobs)
+        (List.map f xs) (Par.map ~jobs f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_singleton () =
+  check Alcotest.(list int) "empty" [] (Par.map ~jobs:4 (fun x -> x) []);
+  check Alcotest.(list int) "singleton" [ 42 ] (Par.map ~jobs:4 (fun x -> x + 1) [ 41 ])
+
+let test_map_more_jobs_than_tasks () =
+  check Alcotest.(list int) "jobs > n" [ 2; 3 ] (Par.map ~jobs:16 (fun x -> x + 1) [ 1; 2 ])
+
+exception Boom of int
+
+let test_map_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      match Par.map ~jobs (fun x -> if x = 13 then raise (Boom x) else x) (List.init 40 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 13 -> ())
+    [ 1; 4 ]
+
+let test_map_reentrant_across_batches () =
+  (* The pool is persistent: repeated batches must reuse it cleanly. *)
+  for round = 1 to 5 do
+    let xs = List.init 20 (fun i -> (round * 100) + i) in
+    check Alcotest.(list int) "round" (List.map succ xs) (Par.map ~jobs:3 succ xs)
+  done
+
+let test_default_jobs_positive () =
+  check Alcotest.bool "positive" true (Par.default_jobs () >= 1)
+
+let test_census_jobs_invariant () =
+  let r1 = Core.Census.run ~samples:25 ~jobs:1 () in
+  let r4 = Core.Census.run ~samples:25 ~jobs:4 () in
+  check Alcotest.bool "reports identical" true (r1 = r4)
+
+let test_proba_jobs_invariant () =
+  let p = Protocols.Counting.resend Channel.Chan.Reorder_dup ~domain:2 in
+  let e jobs =
+    Core.Proba.estimate p ~input:[ 0; 1 ] ~strategy:(Kernel.Strategy.fair_random ()) ~trials:20
+      ~max_steps:2_000 ~jobs ()
+  in
+  check Alcotest.bool "estimates identical" true (e 1 = e 4)
+
+let test_bounds_jobs_invariant () =
+  let p = Protocols.Norep.del ~m:2 in
+  let m jobs =
+    Core.Bounds.measure p
+      ~xs:[ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+      ~strategy:(Kernel.Strategy.fair_random ()) ~seeds:[ 1; 2 ] ~max_steps:2_000 ~jobs ()
+  in
+  check Alcotest.bool "measurements identical" true (m 1 = m 4)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "equals List.map" `Quick test_map_is_list_map;
+          Alcotest.test_case "empty/singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "jobs > tasks" `Quick test_map_more_jobs_than_tasks;
+          Alcotest.test_case "exception propagation" `Quick test_map_propagates_exception;
+          Alcotest.test_case "pool reuse" `Quick test_map_reentrant_across_batches;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "sweeps are jobs-invariant",
+        [
+          Alcotest.test_case "census" `Quick test_census_jobs_invariant;
+          Alcotest.test_case "proba" `Quick test_proba_jobs_invariant;
+          Alcotest.test_case "bounds" `Quick test_bounds_jobs_invariant;
+        ] );
+    ]

@@ -6,6 +6,7 @@ module Multiset = Stdx.Multiset
 module Deque = Stdx.Deque
 module Stats = Stdx.Stats
 module Tabular = Stdx.Tabular
+module Intern = Stdx.Intern
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -291,6 +292,42 @@ let test_tabular_cells () =
   check Alcotest.string "float" "3.14" (Tabular.cell_float ~decimals:2 3.14159);
   check Alcotest.string "bool" "yes" (Tabular.cell_bool true)
 
+(* ------------------------- Intern ------------------------- *)
+
+let test_intern_ids_dense () =
+  let t = Intern.create () in
+  check Alcotest.int "first id" 0 (Intern.id t "a");
+  check Alcotest.int "second id" 1 (Intern.id t "b");
+  check Alcotest.int "repeat is stable" 0 (Intern.id t "a");
+  check Alcotest.int "third id" 2 (Intern.id t "c");
+  check Alcotest.int "length" 3 (Intern.length t)
+
+let test_intern_fresh_flag () =
+  let t = Intern.create () in
+  check Alcotest.(pair int bool) "first sight" (0, true) (Intern.intern t "x");
+  check Alcotest.(pair int bool) "second sight" (0, false) (Intern.intern t "x");
+  check Alcotest.(pair int bool) "new string" (1, true) (Intern.intern t "y")
+
+let test_intern_roundtrip () =
+  let t = Intern.create ~size:2 () in
+  (* Push past the initial names capacity to exercise growth. *)
+  let strs = List.init 200 (fun i -> Printf.sprintf "s%d" i) in
+  let ids = List.map (Intern.id t) strs in
+  List.iter2 (fun s i -> check Alcotest.string "name round-trip" s (Intern.name t i)) strs ids;
+  check Alcotest.(option int) "find_opt hit" (Some 7) (Intern.find_opt t "s7");
+  check Alcotest.(option int) "find_opt miss" None (Intern.find_opt t "absent");
+  Alcotest.check_raises "bad id" (Invalid_argument "Intern.name: id 200 not allocated")
+    (fun () -> ignore (Intern.name t 200))
+
+let prop_intern_bijective =
+  QCheck.Test.make ~name:"interning is a bijection on distinct strings"
+    QCheck.(small_list small_string)
+    (fun ss ->
+      let t = Intern.create () in
+      let ids = List.map (Intern.id t) ss in
+      List.for_all2 (fun s i -> Intern.name t i = s) ss ids
+      && Intern.length t = List.length (List.sort_uniq String.compare ss))
+
 let () =
   Alcotest.run "stdx"
     [
@@ -353,5 +390,12 @@ let () =
           Alcotest.test_case "render" `Quick test_tabular_render;
           Alcotest.test_case "arity" `Quick test_tabular_arity;
           Alcotest.test_case "cells" `Quick test_tabular_cells;
+        ] );
+      ( "intern",
+        [
+          Alcotest.test_case "dense stable ids" `Quick test_intern_ids_dense;
+          Alcotest.test_case "fresh flag" `Quick test_intern_fresh_flag;
+          Alcotest.test_case "round-trip and growth" `Quick test_intern_roundtrip;
+          qtest prop_intern_bijective;
         ] );
     ]
