@@ -1,14 +1,25 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test bench bench-smoke clean
+.PHONY: all verify test report-schema bench bench-smoke clean
 
 all:
 	dune build
 
-# The tier-1 gate: full build plus the whole test battery.
+# The tier-1 gate: full build, the whole test battery (which includes
+# the report_schema.t cram test), and an explicit artifact check.
 verify:
 	dune build
 	dune runtest
+	$(MAKE) report-schema
+
+# The report-schema gate, standalone: produce --json artifacts from
+# the CLI and validate them against the versioned report schema.
+report-schema:
+	dune build bin/stp_cli.exe
+	_build/default/bin/stp_cli.exe experiments --quick --only E1 --json _build/stp_exp.json > /dev/null
+	_build/default/bin/stp_cli.exe attack -p norep -d 2 --json _build/stp_attack.json > /dev/null
+	_build/default/bin/stp_cli.exe validate _build/stp_exp.json
+	_build/default/bin/stp_cli.exe validate _build/stp_attack.json
 
 test: verify
 

@@ -171,39 +171,40 @@ let tests =
       Test.make ~name:"mu_code_build_m5" (Staged.stage code_build_workload);
     ]
 
-(* Minimal JSON emission: the document is flat (string names, float
-   nanoseconds), so hand-rolling beats pulling in a json library. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* The timings as the shared report IR (see lib/stdx/report.mli): the
+   same schema-versioned artifact the CLI's --json flags produce, so
+   one validator covers both. *)
+let bench_report ~quota rows =
+  let module R = Stdx.Report in
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let generated =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let t =
+    R.table_cols ~title:"time per iteration"
+      [ R.column "benchmark"; R.column ~align:R.Right ~unit_:"ns" "nanos_per_iter" ]
+  in
+  List.iter (fun (name, ns) -> R.row t [ R.str name; R.float ns ]) rows;
+  R.make ~id:"bench" ~title:"micro-benchmark timings (Bechamel, monotonic clock)"
+    [
+      R.Metrics
+        {
+          title = None;
+          pairs =
+            [
+              ("generated_utc", R.str generated);
+              ("quota_seconds", R.float quota);
+              ("jobs", R.int (Core.Par.default_jobs ()));
+            ];
+        };
+      R.finish t;
+    ]
 
 let write_json path ~quota rows =
   let oc = open_out path in
-  let tm = Unix.gmtime (Unix.gettimeofday ()) in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
-    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec;
-  Printf.fprintf oc "  \"quota_seconds\": %g,\n" quota;
-  Printf.fprintf oc "  \"jobs\": %d,\n" (Core.Par.default_jobs ());
-  Printf.fprintf oc "  \"results\": [";
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"nanos_per_iter\": %s }"
-        (if i = 0 then "" else ",")
-        (json_escape name)
-        (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns))
-    rows;
-  Printf.fprintf oc "\n  ]\n}\n";
+  output_string oc (Stdx.Json.to_string (Stdx.Report.to_json (bench_report ~quota rows)));
+  output_char oc '\n';
   close_out oc;
   Format.printf "wrote %s@." path
 

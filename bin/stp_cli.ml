@@ -9,10 +9,20 @@
      verify       batch-verify a protocol over its allowable set
      recover      dead-state (Property 2) analysis
      census       sample random protocols at m=1 (E9)
-     experiments  run the E1-E12 reproduction experiments *)
+     experiments  run the E1-E12 reproduction experiments
+     validate     check a --json artifact against the report schema
+
+   Protocols and experiments are resolved through {!Kernel.Registry}
+   (each module registers itself at load time), and channel kinds
+   through {!Channel.Chan.of_string} — this file holds no hard-coded
+   lists.  Every subcommand that prints a report also accepts
+   [--json PATH] to write the same data as a schema-versioned
+   {!Stdx.Report} artifact. *)
 
 open Cmdliner
 module Chan = Channel.Chan
+module Registry = Kernel.Registry
+module Report = Stdx.Report
 module Strategy = Kernel.Strategy
 
 (* ---------------- shared argument parsing ---------------- *)
@@ -31,52 +41,22 @@ let input_conv =
 
 let channel_conv =
   let parse s =
-    match s with
-    | "perfect" -> Ok Chan.Perfect
-    | "fifo-lossy" -> Ok Chan.Fifo_lossy
-    | "dup" -> Ok Chan.Reorder_dup
-    | "del" -> Ok Chan.Reorder_del
-    | _ -> (
-        match String.split_on_char ':' s with
-        | [ "lag"; k ] -> (
-            match int_of_string_opt k with
-            | Some lag when lag >= 0 -> Ok (Chan.Bounded_reorder { lag })
-            | Some _ | None -> Error (`Msg "lag:K needs a non-negative integer"))
-        | _ -> Error (`Msg "channel must be perfect, fifo-lossy, dup, del, or lag:K"))
+    match Chan.of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "channel must be one of: %s"
+                (String.concat ", " (Registry.channel_forms ()))))
   in
-  let print ppf k = Format.pp_print_string ppf (Chan.kind_name k) in
+  let print ppf k = Format.pp_print_string ppf (Chan.to_string k) in
   Arg.conv (parse, print)
 
-let protocol_names =
-  [ "norep"; "coded"; "abp"; "stenning"; "stenning-mod"; "counting"; "counting-resend";
-    "trivial"; "ladder"; "hybrid" ]
-
-let build_protocol ~name ~channel ~domain ~max_len ~header_space ~drop_budget =
-  let xset = Seqspace.Xset.All_upto { domain; max_len } in
-  match name with
-  | "trivial" -> Ok (Protocols.Trivial.protocol ~domain)
-  | "abp" -> Ok (Protocols.Abp.protocol_on channel ~domain)
-  | "stenning" -> Ok (Protocols.Stenning.protocol_on channel ~domain ~max_len)
-  | "stenning-mod" -> Ok (Protocols.Stenning_mod.protocol_on channel ~domain ~header_space)
-  | "counting" -> Ok (Protocols.Counting.protocol_on channel ~domain)
-  | "counting-resend" -> Ok (Protocols.Counting.resend channel ~domain)
-  | "norep" ->
-      Ok (if Chan.deletes channel then Protocols.Norep.del ~m:domain else Protocols.Norep.dup ~m:domain)
-  | "coded" -> (
-      let xs = [ [] ] @ List.map (fun d -> [ d ]) (List.init domain Fun.id) in
-      match
-        if Chan.deletes channel then Protocols.Coded.del ~m:domain ~xs
-        else Protocols.Coded.dup ~m:domain ~xs
-      with
-      | Ok p -> Ok p
-      | Error e -> Error (Format.asprintf "coded: %a" Seqspace.Codes.pp_error e))
-  | "ladder" -> Ok (Protocols.Ladder.protocol ~xset ~drop_budget)
-  | "hybrid" -> Ok (Protocols.Hybrid.protocol ~xset ~domain ~drop_budget ())
-  | other -> Error (Printf.sprintf "unknown protocol %S" other)
-
 let protocol_arg =
-  Arg.(value & opt (enum (List.map (fun n -> (n, n)) protocol_names)) "norep"
-       & info [ "p"; "protocol" ] ~doc:"Protocol to run.")
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) (Registry.protocol_names ()))) "norep"
+    & info [ "p"; "protocol" ] ~doc:"Protocol to run (any name in the registry).")
 
 let channel_arg =
   Arg.(value & opt channel_conv Chan.Reorder_dup & info [ "c"; "channel" ] ~doc:"Channel kind.")
@@ -91,6 +71,19 @@ let header_space_arg =
 
 let drop_budget_arg =
   Arg.(value & opt int 1 & info [ "drop-budget" ] ~doc:"Deletion budget B for ladder/hybrid.")
+
+let window_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "window" ] ~doc:"Pipelining window for go-back-n / selective-repeat.")
+
+let config_term =
+  let make channel domain max_len header_space drop_budget window =
+    { Registry.channel; domain; max_len; header_space; drop_budget; window }
+  in
+  Term.(
+    const make $ channel_arg $ domain_arg $ max_len_arg $ header_space_arg $ drop_budget_arg
+    $ window_arg)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
 
@@ -127,29 +120,72 @@ let build_strategy s =
       | None -> Error "drop-first:N needs an integer")
   | _ -> Error (Printf.sprintf "unknown strategy %S" s)
 
+(* ---------------- report output ---------------- *)
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the report as a schema-versioned JSON artifact to $(docv).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+    & info [ "format" ] ~doc:"Stdout format: $(b,text), $(b,json), or $(b,csv).")
+
+let write_artifact path json =
+  try
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Stdx.Json.to_string json);
+        Out_channel.output_char oc '\n');
+    Ok ()
+  with Sys_error e -> Error (Printf.sprintf "cannot write artifact: %s" e)
+
+let maybe_json report = function
+  | None -> Ok ()
+  | Some path -> write_artifact path (Report.to_json report)
+
 (* ---------------- alpha ---------------- *)
 
-let alpha_cmd =
-  let run m_max =
-    let t =
-      Stdx.Tabular.create ~title:"alpha(m) = m! * sum_{k<=m} 1/k!  (Wang & Zuck 1989)"
-        [ ("m", Stdx.Tabular.Right); ("alpha(m)", Stdx.Tabular.Right) ]
-    in
-    List.iter
-      (fun (m, a) ->
-        Stdx.Tabular.add_row t [ string_of_int m; Stdx.Bignat.to_string a ])
-      (Seqspace.Alpha.table m_max);
-    Stdx.Tabular.print t
+let alpha_report m_max =
+  let t =
+    Report.table ~title:"alpha(m) = m! * sum_{k<=m} 1/k!  (Wang & Zuck 1989)"
+      [ ("m", Report.Right); ("alpha(m)", Report.Right) ]
   in
+  List.iter
+    (fun (m, a) -> Report.row t [ Report.int m; Report.bignat a ])
+    (Seqspace.Alpha.table m_max);
+  Report.make ~id:"alpha" ~title:"the tight bound alpha(m)" [ Report.finish t ]
+
+let alpha_run m_max format json =
+  let r = alpha_report m_max in
+  match maybe_json r json with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+      (match format with
+      | `Text ->
+          (* Body plus a blank line: byte-identical to Tabular.print. *)
+          print_string (Report.to_text_body r);
+          print_newline ()
+      | `Json ->
+          print_string (Stdx.Json.to_string (Report.to_json r));
+          print_newline ()
+      | `Csv -> print_string (Report.to_csv r));
+      `Ok ()
+
+let alpha_cmd =
   let m_max = Arg.(value & opt int 20 & info [ "m" ] ~doc:"Largest m to tabulate.") in
-  Cmd.v (Cmd.info "alpha" ~doc:"Print the tight bound alpha(m).") Term.(const run $ m_max)
+  Cmd.v
+    (Cmd.info "alpha" ~doc:"Print the tight bound alpha(m).")
+    Term.(ret (const alpha_run $ m_max $ format_arg $ json_arg))
 
 (* ---------------- simulate ---------------- *)
 
-let simulate_run protocol channel domain max_len header_space drop_budget input strategy seed
-    max_steps verbose =
+let simulate_run protocol config input strategy seed max_steps verbose json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
-  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let* p = Registry.build_protocol ~name:protocol config in
   let* strat = build_strategy strategy in
   let result =
     Kernel.Runner.run p ~input:(Array.of_list input) ~strategy:strat
@@ -163,6 +199,7 @@ let simulate_run protocol channel domain max_len header_space drop_budget input 
   if verbose then Format.printf "%s" (Kernel.Render.chart trace);
   let v = Core.Verdict.of_result result in
   Format.printf "verdict: %a@." Core.Verdict.pp v;
+  let* () = maybe_json (Core.Verdict.to_report v) json in
   if Core.Verdict.all_good v then `Ok () else `Error (false, "run was not safe and complete")
 
 let simulate_cmd =
@@ -174,16 +211,14 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one protocol instance and report safety/liveness.")
     Term.(
       ret
-        (const simulate_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
-       $ header_space_arg $ drop_budget_arg $ input $ strategy_arg $ seed_arg $ max_steps_arg
-       $ verbose))
+        (const simulate_run $ protocol_arg $ config_term $ input $ strategy_arg $ seed_arg
+       $ max_steps_arg $ verbose $ json_arg))
 
 (* ---------------- attack ---------------- *)
 
-let attack_run protocol channel domain max_len header_space drop_budget x1 x2 xs depth single jobs
-    =
+let attack_run protocol config x1 x2 xs depth single jobs json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
-  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let* p = Registry.build_protocol ~name:protocol config in
   let describe = function
     | Core.Attack.Witness w ->
         Format.asprintf "WITNESS (%s, depth %d, %d joint states)"
@@ -209,6 +244,7 @@ let attack_run protocol channel domain max_len header_space drop_budget x1 x2 xs
     (match witness with
     | Some w -> Format.printf "%a@." Core.Attack.pp_witness w
     | None -> Format.printf "no witness over %d pairs@." (List.length outcomes));
+    let* () = maybe_json (Core.Attack.search_report outcomes witness) json in
     `Ok ()
   end
   else begin
@@ -223,6 +259,9 @@ let attack_run protocol channel domain max_len header_space drop_budget x1 x2 xs
           (if closed then "state space closed — adversary provably cannot win within the move \
                            bounds" else "search truncated")
           states_explored);
+    let* () =
+      maybe_json (Core.Attack.outcome_report ~x1 ~x2:(if single then x1 else x2) outcome) json
+    in
     `Ok ()
   end
 
@@ -251,12 +290,12 @@ let attack_cmd =
        ~doc:"Search for an impossibility witness (the Theorem 1/2 construction, executable).")
     Term.(
       ret
-        (const attack_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
-       $ header_space_arg $ drop_budget_arg $ x1 $ x2 $ xs $ depth $ single $ jobs_arg))
+        (const attack_run $ protocol_arg $ config_term $ x1 $ x2 $ xs $ depth $ single
+       $ jobs_arg $ json_arg))
 
 (* ---------------- knowledge ---------------- *)
 
-let knowledge_run m seeds input =
+let knowledge_run m seeds input json =
   let xs = Seqspace.Norep.enumerate ~m in
   let input = if input = [] then Seqspace.Norep.longest ~m else input in
   if not (List.mem input xs) then
@@ -279,19 +318,44 @@ let knowledge_run m seeds input =
     let tarr = Knowledge.Universe.traces u in
     Format.printf "universe: %d traces, %d points, %d receiver-view classes@."
       (Array.length tarr) (Knowledge.Universe.n_points u) (Knowledge.Universe.n_classes u);
+    let table =
+      Report.table ~title:"learning vs write times"
+        [ ("run", Report.Right); ("t_i", Report.Left); ("writes", Report.Left) ]
+    in
     Array.iteri
       (fun run trace ->
         if Array.to_list (Kernel.Trace.input trace) = input && run < List.length xs * seeds then begin
           let lt = Knowledge.Learn.learning_times u ~run in
           let wt = Knowledge.Learn.write_times u ~run in
           let cell = function Some t -> string_of_int t | None -> "?" in
+          let times a = String.concat "; " (Array.to_list (Array.map cell a)) in
           Format.printf "run %d (input %a): t_i = [%s], writes = [%s]@." run
-            Seqspace.Xset.pp_sequence input
-            (String.concat "; " (Array.to_list (Array.map cell lt)))
-            (String.concat "; " (Array.to_list (Array.map cell wt)))
+            Seqspace.Xset.pp_sequence input (times lt) (times wt);
+          Report.row table
+            [ Report.int run; Report.str ("[" ^ times lt ^ "]"); Report.str ("[" ^ times wt ^ "]") ]
         end)
       tarr;
-    `Ok ()
+    match
+      maybe_json
+        (Report.make ~id:"knowledge"
+           ~title:(Printf.sprintf "learning times t_i over the m=%d norep universe" m)
+           [
+             Report.Metrics
+               {
+                 title = None;
+                 pairs =
+                   [
+                     ("traces", Report.int (Array.length tarr));
+                     ("points", Report.int (Knowledge.Universe.n_points u));
+                     ("classes", Report.int (Knowledge.Universe.n_classes u));
+                   ];
+               };
+             Report.finish table;
+           ])
+        json
+    with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, e)
   end
 
 let knowledge_cmd =
@@ -302,19 +366,22 @@ let knowledge_cmd =
   in
   Cmd.v
     (Cmd.info "knowledge" ~doc:"Compute the learning times t_i of Sec 2.3 on sampled universes.")
-    Term.(ret (const knowledge_run $ m $ seeds $ input))
+    Term.(ret (const knowledge_run $ m $ seeds $ input $ json_arg))
 
 (* ---------------- verify ---------------- *)
 
-let verify_run protocol channel domain max_len header_space drop_budget seeds max_steps =
+let verify_run protocol config seeds max_steps max_failures json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
-  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let* p = Registry.build_protocol ~name:protocol config in
   let xs =
-    if protocol = "norep" then Seqspace.Norep.enumerate ~m:domain
-    else Seqspace.Xset.to_list (Seqspace.Xset.All_upto { domain; max_len })
+    if protocol = "norep" then Seqspace.Norep.enumerate ~m:config.Registry.domain
+    else
+      Seqspace.Xset.to_list
+        (Seqspace.Xset.All_upto
+           { domain = config.Registry.domain; max_len = config.Registry.max_len })
   in
   let spec = Core.Harness.default_spec ~max_steps ~n_seeds:seeds () in
-  let report = Core.Harness.verify p ~xs spec in
+  let report = Core.Harness.verify p ~xs ?max_failures spec in
   Format.printf "%a@." Core.Harness.pp_report report;
   List.iteri
     (fun i f ->
@@ -323,28 +390,40 @@ let verify_run protocol channel domain max_len header_space drop_budget seeds ma
           f.Core.Harness.input f.Core.Harness.strategy_name f.Core.Harness.seed
           Core.Verdict.pp f.Core.Harness.verdict)
     report.Core.Harness.failures;
+  let* () = maybe_json (Core.Harness.to_report report) json in
   if Core.Harness.clean report then `Ok ()
   else `Error (false, "verification found failing runs")
 
 let verify_cmd =
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeds per schedule.") in
+  let max_failures =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-failures" ]
+          ~doc:
+            "Keep only the earliest $(docv) failure records; the failure count and the exit \
+             status still reflect every failing run."
+          ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Batch-verify a protocol over its whole allowable set under a schedule battery.")
     Term.(
       ret
-        (const verify_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
-       $ header_space_arg $ drop_budget_arg $ seeds $ max_steps_arg))
+        (const verify_run $ protocol_arg $ config_term $ seeds $ max_steps_arg $ max_failures
+       $ json_arg))
 
 (* ---------------- recover ---------------- *)
 
-let recover_run protocol channel domain max_len header_space drop_budget input =
+let recover_run protocol config input json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
-  let* p = build_protocol ~name:protocol ~channel ~domain ~max_len ~header_space ~drop_budget in
+  let* p = Registry.build_protocol ~name:protocol config in
   let r = Core.Spec.recoverability p ~input () in
   Format.printf "%a@." Core.Spec.pp_recoverability r;
   Format.printf "recoverable: %b (Property 2's executable face — see DESIGN.md E12)@."
     (Core.Spec.recoverable r);
+  let* () = maybe_json (Core.Spec.recoverability_report ~protocol r) json in
   `Ok ()
 
 let recover_cmd =
@@ -354,14 +433,11 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Exhaustive dead-state analysis: can every reachable state still complete?")
-    Term.(
-      ret
-        (const recover_run $ protocol_arg $ channel_arg $ domain_arg $ max_len_arg
-       $ header_space_arg $ drop_budget_arg $ input))
+    Term.(ret (const recover_run $ protocol_arg $ config_term $ input $ json_arg))
 
 (* ---------------- census ---------------- *)
 
-let census_run samples states jobs =
+let census_run samples states jobs json =
   let control = Core.Census.control_is_clean () in
   let r = Core.Census.run ~samples ~states ~jobs () in
   Format.printf
@@ -371,27 +447,47 @@ let census_run samples states jobs =
     r.Core.Census.samples r.Core.Census.broken_directly r.Core.Census.witnessed
     r.Core.Census.undecided r.Core.Census.survivors
     (if control then "clean" else "BROKEN");
-  if Core.Census.ok r && control then `Ok ()
-  else `Error (false, "census found a survivor or was inconclusive")
+  match maybe_json (Core.Census.to_report ~control r) json with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+      if Core.Census.ok r && control then `Ok ()
+      else `Error (false, "census found a survivor or was inconclusive")
 
 let census_cmd =
   let samples = Arg.(value & opt int 300 & info [ "samples" ] ~doc:"Protocols to sample.") in
   let states = Arg.(value & opt int 3 & info [ "states" ] ~doc:"Control states per process.") in
   Cmd.v
     (Cmd.info "census" ~doc:"Sample random protocols at m=1 and classify them (E9).")
-    Term.(ret (const census_run $ samples $ states $ jobs_arg))
+    Term.(ret (const census_run $ samples $ states $ jobs_arg $ json_arg))
 
 (* ---------------- experiments ---------------- *)
 
-let experiments_run quick only =
-  let results = Core.Experiments.all ~quick () in
-  let results =
+let experiments_run quick only format json =
+  let entries = Registry.experiments () in
+  let entries =
     match only with
-    | [] -> results
-    | ids -> List.filter (fun r -> List.mem (String.lowercase_ascii r.Core.Experiments.id) ids || List.mem r.Core.Experiments.id ids) results
+    | [] -> entries
+    | ids ->
+        let ids = List.map String.lowercase_ascii ids in
+        List.filter
+          (fun e -> List.mem (String.lowercase_ascii e.Registry.e_id) ids)
+          entries
   in
-  List.iter (fun r -> Format.printf "%a@.@." Core.Experiments.pp_result r) results;
-  if List.for_all (fun r -> r.Core.Experiments.ok) results then `Ok ()
+  let results =
+    List.map (fun e -> if quick then e.Registry.e_quick () else e.Registry.e_full ()) entries
+  in
+  match
+    match json with Some path -> write_artifact path (Report.set_to_json results) | None -> Ok ()
+  with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+  (match format with
+  | `Text -> List.iter (fun r -> Format.printf "%a@.@." Core.Experiments.pp_result r) results
+  | `Json ->
+      print_string (Stdx.Json.to_string (Report.set_to_json results));
+      print_newline ()
+  | `Csv -> List.iter (fun r -> print_string (Report.to_csv r)) results);
+  if List.for_all Core.Experiments.ok results then `Ok ()
   else `Error (false, "some experiment shapes were violated")
 
 let experiments_cmd =
@@ -400,8 +496,30 @@ let experiments_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the E1-E7 reproduction experiments.")
-    Term.(ret (const experiments_run $ quick $ only))
+    (Cmd.info "experiments" ~doc:"Run the E1-E12 reproduction experiments.")
+    Term.(ret (const experiments_run $ quick $ only $ format_arg $ json_arg))
+
+(* ---------------- validate ---------------- *)
+
+let validate_run path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> `Error (false, e)
+  | contents -> (
+      match Report.validate_artifact contents with
+      | Ok n ->
+          Format.printf "%s: valid report artifact, %d report(s), schema version %d@." path n
+            Report.schema_version;
+          `Ok ()
+      | Error e -> `Error (false, Printf.sprintf "%s: invalid artifact: %s" path e))
+
+let validate_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Artifact to check.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Parse a --json artifact, check its schema, and round-trip it through the report IR.")
+    Term.(ret (const validate_run $ path))
 
 let () =
   let doc = "Tight bounds for the sequence transmission problem (Wang & Zuck, PODC 1989)" in
@@ -417,4 +535,5 @@ let () =
             recover_cmd;
             census_cmd;
             experiments_cmd;
+            validate_cmd;
           ]))

@@ -18,31 +18,36 @@ let show title outcome =
         states_explored
 
 let () =
+  (* All victims come out of the protocol registry by name — the same
+     lookup `stp attack -p NAME` performs.  The default config already
+     pins the dup channel and header_space = 2. *)
+  let resolve name =
+    match
+      Kernel.Registry.build_protocol ~name { Kernel.Registry.default with domain = 2 }
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+
   (* 1. Send-and-pray under reordering: the receiver writes whatever
      arrives first. *)
   show "naive counting vs reordering (dup channel)"
-    (Core.Attack.search_pair
-       (Protocols.Counting.protocol_on Channel.Chan.Reorder_dup ~domain:2)
-       ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ());
+    (Core.Attack.search_pair (resolve "counting") ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ());
 
   (* 2. Alternating Bit under duplication: an old copy of the first
      message returns after the bit has wrapped around, and the receiver
      writes a third item on a two-item input. *)
   show "alternating bit vs duplication"
-    (Core.Attack.search_single
-       (Protocols.Abp.protocol_on Channel.Chan.Reorder_dup ~domain:2)
-       ~x:[ 0; 0 ] ());
+    (Core.Attack.search_single (resolve "abp") ~x:[ 0; 0 ] ());
 
   (* 3. Bounded headers (LMF88): sequence numbers mod 2 collide two
      items apart; a stale copy is accepted as fresh. *)
   show "stenning with 2 headers vs reordering"
-    (Core.Attack.search_single
-       (Protocols.Stenning_mod.protocol_on Channel.Chan.Reorder_dup ~domain:2 ~header_space:2)
-       ~x:[ 0; 1; 0; 1 ] ());
+    (Core.Attack.search_single (resolve "stenning-mod") ~x:[ 0; 1; 0; 1 ] ());
 
   (* 4. The paper's protocol at the bound: the adversary provably
      cannot win — every pair of allowable inputs closes clean. *)
-  let norep = Protocols.Norep.dup ~m:2 in
+  let norep = resolve "norep" in
   let outcomes, witness =
     Core.Attack.search norep ~xs:(Seqspace.Norep.enumerate ~m:2) ~depth:200 ()
   in

@@ -16,8 +16,12 @@ let () =
   Format.printf "@.";
 
   (* The paper's Section 3 protocol: domain = message alphabet = 4
-     symbols, allowable inputs = repetition-free sequences. *)
-  let protocol = Protocols.Norep.dup ~m:4 in
+     symbols, allowable inputs = repetition-free sequences.  Resolved
+     by name through the registry, exactly as `stp -p norep` does. *)
+  let resolve name cfg =
+    match Kernel.Registry.build_protocol ~name cfg with Ok p -> p | Error e -> failwith e
+  in
+  let protocol = resolve "norep" { Kernel.Registry.default with domain = 4 } in
   let input = [| 2; 0; 3; 1 |] in
 
   (* A hostile schedule: the channel floods the receiver with duplicate
@@ -41,7 +45,9 @@ let () =
      wins.  <0 0> repeats a symbol, so the receiver can never tell it
      apart from <0 1> forever: *)
   let outcome =
-    Core.Attack.search_pair (Protocols.Norep.dup ~m:2) ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ()
+    Core.Attack.search_pair
+      (resolve "norep" { Kernel.Registry.default with domain = 2 })
+      ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ()
   in
   match outcome with
   | Core.Attack.Witness w -> Format.printf "@.beyond the bound: %a@." Core.Attack.pp_witness w

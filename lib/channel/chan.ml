@@ -11,6 +11,32 @@ let kind_name = function
   | Reorder_del -> "reorder+del"
   | Bounded_reorder { lag } -> Printf.sprintf "reorder<=%d+del" lag
 
+(* Parse-canonical names: the short CLI spellings, distinct from the
+   display names above so table output does not move. *)
+let to_string = function
+  | Perfect -> "perfect"
+  | Fifo_lossy -> "fifo-lossy"
+  | Reorder_dup -> "dup"
+  | Reorder_del -> "del"
+  | Bounded_reorder { lag } -> Printf.sprintf "lag:%d" lag
+
+let of_string s =
+  match s with
+  | "perfect" -> Some Perfect
+  | "fifo-lossy" | "fifo" | "lossy" -> Some Fifo_lossy
+  | "dup" | "reorder+dup" | "reorder-dup" -> Some Reorder_dup
+  | "del" | "reorder+del" | "reorder-del" -> Some Reorder_del
+  | _ ->
+      let lag_of prefix =
+        let pl = String.length prefix in
+        if String.length s > pl && String.sub s 0 pl = prefix then
+          match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+          | Some lag when lag >= 0 -> Some (Bounded_reorder { lag })
+          | Some _ | None -> None
+        else None
+      in
+      (match lag_of "lag:" with Some _ as r -> r | None -> lag_of "lag=")
+
 let reorders = function
   | Reorder_dup | Reorder_del -> true
   | Bounded_reorder { lag } -> lag > 0

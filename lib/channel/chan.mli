@@ -35,6 +35,17 @@ type kind =
           experiment E10 locates the crossover. *)
 
 val kind_name : kind -> string
+(** Display name used in tables and pretty-printing, e.g.
+    ["reorder+dup"], ["reorder<=2+del"]. *)
+
+val to_string : kind -> string
+(** Parse-canonical name: ["perfect"], ["fifo-lossy"], ["dup"],
+    ["del"], ["lag:K"].  [of_string (to_string k) = Some k]. *)
+
+val of_string : string -> kind option
+(** Inverse of {!to_string}; also accepts the aliases ["fifo"],
+    ["lossy"], ["reorder+dup"]/["reorder-dup"],
+    ["reorder+del"]/["reorder-del"], and ["lag=K"]. *)
 
 val reorders : kind -> bool
 (** Whether the adversary controls delivery order. *)

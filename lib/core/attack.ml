@@ -539,3 +539,73 @@ let pp_witness ppf w =
     w.depth w.states_explored Xset.pp_sequence w.x1 Xset.pp_sequence w.x2
     (Format.pp_print_list pp_joint_move)
     w.joint_moves
+
+let seq_text xs = "<" ^ String.concat " " (List.map string_of_int xs) ^ ">"
+
+let kind_text = function
+  | Safety { violated_run } -> Printf.sprintf "safety(run %d)" violated_run
+  | Starvation { starved_run } -> Printf.sprintf "starvation(run %d)" starved_run
+
+let witness_item w =
+  let module R = Stdx.Report in
+  R.Metrics
+    {
+      title = Some "witness";
+      pairs =
+        [
+          ("kind", R.str (kind_text w.kind));
+          ("x1", R.str (seq_text w.x1));
+          ("x2", R.str (seq_text w.x2));
+          ("depth", R.int w.depth);
+          ("states_explored", R.int w.states_explored);
+          ("joint_moves", R.int (List.length w.joint_moves));
+        ];
+    }
+
+let outcome_text = function
+  | Witness w -> Printf.sprintf "WITNESS (%s, depth %d)" (kind_text w.kind) w.depth
+  | No_violation { closed; states_explored } ->
+      Printf.sprintf "none (%s, %d states)"
+        (if closed then "space closed" else "truncated")
+        states_explored
+
+let outcome_report ~x1 ~x2 outcome =
+  let module R = Stdx.Report in
+  let base =
+    R.Metrics
+      {
+        title = None;
+        pairs =
+          [
+            ("x1", R.str (seq_text x1));
+            ("x2", R.str (seq_text x2));
+            ("outcome", R.str (outcome_text outcome));
+          ];
+      }
+  in
+  let items =
+    match outcome with Witness w -> [ base; witness_item w ] | No_violation _ -> [ base ]
+  in
+  R.make ~id:"attack" ~title:"impossibility attack search" items
+
+let search_report outcomes witness =
+  let module R = Stdx.Report in
+  let t =
+    R.table ~title:"all-pairs attack sweep"
+      [ ("x1", R.Left); ("x2", R.Left); ("outcome", R.Left) ]
+  in
+  List.iter
+    (fun (a, b, o) ->
+      R.row t [ R.str (seq_text a); R.str (seq_text b); R.str (outcome_text o) ])
+    outcomes;
+  let items =
+    match witness with Some w -> [ R.finish t; witness_item w ] | None -> [ R.finish t ]
+  in
+  R.make ~id:"attack" ~title:"impossibility attack search"
+    ~notes:
+      [
+        (match witness with
+        | Some _ -> "a witness was found"
+        | None -> Printf.sprintf "no witness over %d pairs" (List.length outcomes));
+      ]
+    items

@@ -129,3 +129,13 @@ val run_moves : witness -> which:int -> Kernel.Move.t list
     a replayable script for {!Kernel.Strategy.scripted}. *)
 
 val pp_witness : Format.formatter -> witness -> unit
+
+val outcome_report : x1:int list -> x2:int list -> outcome -> Stdx.Report.t
+(** A single search outcome as typed IR (id ["attack"]); includes the
+    witness metrics block when one was found.  [ok] is [None] — a
+    witness is the expected result when probing past the bound. *)
+
+val search_report :
+  (int list * int list * outcome) list -> witness option -> Stdx.Report.t
+(** The all-pairs sweep as typed IR: one row per pair plus the first
+    witness, if any. *)

@@ -65,3 +65,15 @@ let growth_slope points =
       let sxy = List.fold_left (fun acc (x, y) -> acc +. (float_of_int x *. y)) 0.0 points in
       let denom = (n *. sxx) -. (sx *. sx) in
       if Float.abs denom < 1e-9 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom
+
+let to_report ~title measurements =
+  let module R = Stdx.Report in
+  let t =
+    R.table ~title:"learning-gap summary by input length"
+      [ ("|X|", R.Right); ("gap mean", R.Right); ("gap max", R.Right) ]
+  in
+  List.iter
+    (fun (len, (s : Stdx.Stats.summary)) ->
+      R.row t [ R.int len; R.float s.mean; R.float s.max ])
+    (gap_by_length measurements);
+  R.make ~id:"bounds" ~title [ R.finish t ]

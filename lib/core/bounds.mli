@@ -48,3 +48,6 @@ val growth_slope : (int * float) list -> float
 (** Least-squares slope of [(x, y)] points — the single number E4/E5
     quote to separate "flat" from "growing".  Returns 0 for fewer than
     two distinct x values. *)
+
+val to_report : title:string -> measurement list -> Stdx.Report.t
+(** The {!gap_by_length} aggregation as typed IR (id ["bounds"]). *)

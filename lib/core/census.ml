@@ -149,3 +149,23 @@ let control_is_clean () =
     [ []; [ 0 ] ]
 
 let ok r = r.survivors = 0 && r.undecided = 0
+
+let to_report ~control r =
+  let module R = Stdx.Report in
+  R.make ~id:"census" ~title:"protocol-space census at m=1"
+    ~ok:(ok r && control)
+    [
+      R.Metrics
+        {
+          title = None;
+          pairs =
+            [
+              ("samples", R.int r.samples);
+              ("broken_directly", R.int r.broken_directly);
+              ("witnessed", R.int r.witnessed);
+              ("undecided", R.int r.undecided);
+              ("survivors", R.int r.survivors);
+              ("control_clean", R.bool control);
+            ];
+        };
+    ]

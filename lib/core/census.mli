@@ -61,3 +61,7 @@ val control_is_clean : unit -> bool
 
 val ok : report -> bool
 (** No survivors and nothing undecided. *)
+
+val to_report : control:bool -> report -> Stdx.Report.t
+(** The census as typed IR (id ["census"]); [control] is
+    {!control_is_clean}'s verdict and participates in [ok]. *)

@@ -5,23 +5,23 @@ module Delta = Seqspace.Delta
 module Chan = Channel.Chan
 module Strategy = Kernel.Strategy
 module Runner = Kernel.Runner
-module Tabular = Stdx.Tabular
+module Report = Stdx.Report
 module Stats = Stdx.Stats
 
-type result = {
-  id : string;
-  title : string;
-  table : string;
-  ok : bool;
-  notes : string list;
-}
+type result = Report.t
 
-let pp_result ppf r =
-  Format.fprintf ppf "@[<v>== %s: %s [%s]@,%s%a@]" r.id r.title
-    (if r.ok then "shape holds" else "SHAPE VIOLATED")
-    r.table
+let id (r : result) = r.Report.id
+let title (r : result) = r.Report.title
+let ok (r : result) = match r.Report.ok with Some b -> b | None -> false
+let table (r : result) = Report.to_text_body r
+let notes (r : result) = r.Report.notes
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf "@[<v>== %s: %s [%s]@,%s%a@]" (id r) (title r)
+    (if ok r then "shape holds" else "SHAPE VIOLATED")
+    (table r)
     (Format.pp_print_list (fun ppf n -> Format.fprintf ppf "note: %s@," n))
-    r.notes
+    (notes r)
 
 (* ------------------------------------------------------------------ *)
 (* E1: α(m) and tightness — the §3/§4 protocols transmit all α(m)
@@ -29,13 +29,13 @@ let pp_result ppf r =
 
 let e1_alpha_tightness ?(m_max = 12) ?(m_verify = 3) ?(seeds = 3) () =
   let t =
-    Tabular.create ~title:"E1: alpha(m) and exhaustive verification of the tight protocols"
+    Report.table ~title:"E1: alpha(m) and exhaustive verification of the tight protocols"
       [
-        ("m", Tabular.Right);
-        ("alpha(m)", Tabular.Right);
-        ("alpha/(e*m!)", Tabular.Right);
-        ("dup verified", Tabular.Right);
-        ("del verified", Tabular.Right);
+        ("m", Report.Right);
+        ("alpha(m)", Report.Right);
+        ("alpha/(e*m!)", Report.Right);
+        ("dup verified", Report.Right);
+        ("del verified", Report.Right);
       ]
   in
   let ok = ref true in
@@ -80,21 +80,18 @@ let e1_alpha_tightness ?(m_max = 12) ?(m_verify = 3) ?(seeds = 3) () =
           (List.length xs) report.Harness.safe_runs report.Harness.runs
       end
     in
-    Tabular.add_row t
+    Report.row t
       [
-        Tabular.cell_int m;
-        Stdx.Bignat.to_string a;
-        ratio;
-        verify dup_spec (fun m -> Protocols.Norep.dup ~m);
-        verify del_spec (fun m -> Protocols.Norep.del ~m);
+        Report.int m;
+        Report.bignat a;
+        Report.str ratio;
+        Report.str (verify dup_spec (fun m -> Protocols.Norep.dup ~m));
+        Report.str (verify del_spec (fun m -> Protocols.Norep.del ~m));
       ]
   done;
-  {
-    id = "E1";
-    title = "Theorem 1/2 tightness: alpha(m) sequences all transmitted";
-    table = Tabular.render t;
-    ok = !ok;
-    notes =
+  Report.make ~id:"E1" ~title:"Theorem 1/2 tightness: alpha(m) sequences all transmitted"
+    ~ok:!ok
+    ~notes:
       [
         Printf.sprintf
           "exhaustive verification for m <= %d: every repetition-free sequence, %d seeds x 3 \
@@ -102,7 +99,7 @@ let e1_alpha_tightness ?(m_max = 12) ?(m_verify = 3) ?(seeds = 3) () =
           m_verify seeds;
         "alpha/(e*m!) -> 1: the bound is asymptotically e*m!";
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* Attack-row plumbing shared by E2 and E3. *)
@@ -125,13 +122,13 @@ type expectation = Expect_witness | Expect_closed
 
 let attack_table ~title rows =
   let t =
-    Tabular.create ~title
+    Report.table ~title
       [
-        ("protocol", Tabular.Left);
-        ("|X| vs alpha(m)", Tabular.Left);
-        ("search", Tabular.Left);
-        ("outcome", Tabular.Left);
-        ("as predicted", Tabular.Right);
+        ("protocol", Report.Left);
+        ("|X| vs alpha(m)", Report.Left);
+        ("search", Report.Left);
+        ("outcome", Report.Left);
+        ("as predicted", Report.Right);
       ]
   in
   let ok = ref true in
@@ -146,9 +143,11 @@ let attack_table ~title rows =
             false
       in
       if not good then ok := false;
-      Tabular.add_row t [ name; xsize; search_kind; cell; Tabular.cell_bool good ])
+      Report.row t
+        [ Report.str name; Report.str xsize; Report.str search_kind; Report.str cell;
+          Report.bool good ])
     rows;
-  (Tabular.render t, !ok)
+  (Report.finish t, !ok)
 
 let first_outcome outcomes =
   (* Worst outcome across pairs: a witness dominates; otherwise a
@@ -251,12 +250,9 @@ let e2_dup_attacks ?(m = 2) () =
     match Protocols.Coded.dup ~m ~xs:over_xs with Ok _ -> false | Error _ -> true
   in
   let table, rows_ok = attack_table ~title:"E2: attacks over reorder+dup" (List.rev !rows) in
-  {
-    id = "E2";
-    title = "Theorem 1 impossibility: |X| > alpha(m) breaks every candidate";
-    table;
-    ok = rows_ok && code_fails;
-    notes =
+  Report.make ~id:"E2" ~title:"Theorem 1 impossibility: |X| > alpha(m) breaks every candidate"
+    ~ok:(rows_ok && code_fails)
+    ~notes:
       [
         Printf.sprintf "m = %d, alpha(m) = %d" m alpha_m;
         Printf.sprintf
@@ -268,7 +264,7 @@ let e2_dup_attacks ?(m = 2) () =
          fair-for-one-run cycle in the closed joint graph that never writes past the common \
          prefix";
       ]
-  }
+    [ table ]
 
 (* ------------------------------------------------------------------ *)
 (* E3: Theorem 2 impossibility over reorder+del (bounded candidates). *)
@@ -359,20 +355,17 @@ let e3_del_attacks ?(m = 2) ?(f_const = 4) () =
   let ladder_ok = Harness.clean ladder_report in
   (* Lemma 4's resource: the delta recursion. *)
   let dt =
-    Tabular.create ~title:(Printf.sprintf "Lemma 4 resource: delta_l for f(i)=%d" f_const)
-      [ ("l", Tabular.Right); ("delta_l", Tabular.Right) ]
+    Report.table ~title:(Printf.sprintf "Lemma 4 resource: delta_l for f(i)=%d" f_const)
+      [ ("l", Report.Right); ("delta_l", Report.Right) ]
   in
   let beta = 2 (* norep sequences over m=2 are identified by 2 prefixes *) in
   let c = Delta.c_of_f ~f:(fun _ -> f_const) ~beta in
   Array.iteri
-    (fun l d -> Tabular.add_row dt [ Tabular.cell_int l; Stdx.Bignat.to_string d ])
+    (fun l d -> Report.row dt [ Report.int l; Report.bignat d ])
     (Delta.deltas ~m ~c);
-  {
-    id = "E3";
-    title = "Theorem 2 impossibility: no bounded solution beyond alpha(m)";
-    table = table ^ "\n" ^ Tabular.render dt;
-    ok = rows_ok && ladder_ok;
-    notes =
+  Report.make ~id:"E3" ~title:"Theorem 2 impossibility: no bounded solution beyond alpha(m)"
+    ~ok:(rows_ok && ladder_ok)
+    ~notes:
       [
         Printf.sprintf "m = %d, alpha(m) = %d; send caps %d/%d make the joint spaces finite" m
           alpha_m cap_s cap_r;
@@ -382,7 +375,7 @@ let e3_del_attacks ?(m = 2) ?(f_const = 4) () =
           (if ladder_ok then "verified live and safe" else "FAILED");
         Printf.sprintf "c = sum f(i) over i <= beta = %d" c;
       ]
-  }
+    [ table; Report.finish dt ]
 
 (* ------------------------------------------------------------------ *)
 (* E4: boundedness profiles (Definition 2). *)
@@ -408,13 +401,13 @@ let e4_boundedness ?(domain = 3) ?(max_len = 3) ?(seeds = 4) () =
       ~post_roll:60 ()
   in
   let t =
-    Tabular.create ~title:"E4: max learning gap max_i (t_i - t_{i-1}) by input length"
+    Report.table ~title:"E4: max learning gap max_i (t_i - t_{i-1}) by input length"
       [
-        ("|X|", Tabular.Right);
-        ("norep-del gap (mean)", Tabular.Right);
-        ("norep-del gap (max)", Tabular.Right);
-        ("ladder gap (mean)", Tabular.Right);
-        ("ladder gap (max)", Tabular.Right);
+        ("|X|", Report.Right);
+        ("norep-del gap (mean)", Report.Right);
+        ("norep-del gap (max)", Report.Right);
+        ("ladder gap (mean)", Report.Right);
+        ("ladder gap (max)", Report.Right);
       ]
   in
   let b_series = Bounds.gap_by_length bounded in
@@ -423,13 +416,15 @@ let e4_boundedness ?(domain = 3) ?(max_len = 3) ?(seeds = 4) () =
     List.sort_uniq Int.compare (List.map fst b_series @ List.map fst u_series)
   in
   let cell series len f =
-    match List.assoc_opt len series with Some s -> Tabular.cell_float (f s) | None -> "-"
+    match List.assoc_opt len series with
+    | Some s -> Report.float (f s)
+    | None -> Report.str "-"
   in
   List.iter
     (fun len ->
-      Tabular.add_row t
+      Report.row t
         [
-          Tabular.cell_int len;
+          Report.int len;
           cell b_series len (fun s -> s.Stats.mean);
           cell b_series len (fun s -> s.Stats.max);
           cell u_series len (fun s -> s.Stats.mean);
@@ -438,16 +433,13 @@ let e4_boundedness ?(domain = 3) ?(max_len = 3) ?(seeds = 4) () =
     lens;
   let slope series = Bounds.growth_slope (List.map (fun (l, s) -> (l, s.Stats.mean)) series) in
   let b_slope = slope b_series and u_slope = slope u_series in
-  Tabular.add_separator t;
-  Tabular.add_row t
-    [ "slope"; Tabular.cell_float b_slope; "-"; Tabular.cell_float u_slope; "-" ];
+  Report.sep t;
+  Report.row t
+    [ Report.str "slope"; Report.float b_slope; Report.str "-"; Report.float u_slope;
+      Report.str "-" ];
   let ok = u_slope > (2.0 *. Float.max 1.0 b_slope) +. 2.0 in
-  {
-    id = "E4";
-    title = "Definition 2: bounded vs unbounded learning-gap profiles";
-    table = Tabular.render t;
-    ok;
-    notes =
+  Report.make ~id:"E4" ~title:"Definition 2: bounded vs unbounded learning-gap profiles" ~ok
+    ~notes:
       [
         "learning times are knowledge-based (t_i over a mixed-input sampled universe), not \
          write-based";
@@ -456,7 +448,7 @@ let e4_boundedness ?(domain = 3) ?(max_len = 3) ?(seeds = 4) () =
                         one's does not"
           b_slope u_slope;
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E5: weak boundedness — recovery from a single fault (§5). *)
@@ -485,11 +477,11 @@ let e5_weak_boundedness ?(domain = 2) ?(max_len = 5) ?(seeds = 3) () =
     Stats.summarize samples
   in
   let t =
-    Tabular.create ~title:"E5: steps to recover after one fault injected at t=6"
+    Report.table ~title:"E5: steps to recover after one fault injected at t=6"
       [
-        ("|X|", Tabular.Right);
-        ("hybrid (weakly bounded)", Tabular.Right);
-        ("norep-del (bounded)", Tabular.Right);
+        ("|X|", Report.Right);
+        ("hybrid (weakly bounded)", Report.Right);
+        ("norep-del (bounded)", Report.Right);
       ]
   in
   let hybrid_pts = ref [] and bounded_pts = ref [] in
@@ -501,8 +493,8 @@ let e5_weak_boundedness ?(domain = 2) ?(max_len = 5) ?(seeds = 3) () =
       with
       | Some s ->
           hybrid_pts := (n, s.Stats.mean) :: !hybrid_pts;
-          Tabular.cell_float s.Stats.mean
-      | None -> "-"
+          Report.float s.Stats.mean
+      | None -> Report.str "-"
     in
     let b_cell =
       (* The bounded comparator needs a repetition-free input of length
@@ -515,22 +507,19 @@ let e5_weak_boundedness ?(domain = 2) ?(max_len = 5) ?(seeds = 3) () =
       with
       | Some s ->
           bounded_pts := (n, s.Stats.mean) :: !bounded_pts;
-          Tabular.cell_float s.Stats.mean
-      | None -> "-"
+          Report.float s.Stats.mean
+      | None -> Report.str "-"
     in
-    Tabular.add_row t [ Tabular.cell_int n; h_cell; b_cell ]
+    Report.row t [ Report.int n; h_cell; b_cell ]
   done;
   let h_slope = Bounds.growth_slope !hybrid_pts in
   let b_slope = Bounds.growth_slope !bounded_pts in
-  Tabular.add_separator t;
-  Tabular.add_row t [ "slope"; Tabular.cell_float h_slope; Tabular.cell_float b_slope ];
+  Report.sep t;
+  Report.row t [ Report.str "slope"; Report.float h_slope; Report.float b_slope ];
   let ok = h_slope > (2.0 *. Float.max 1.0 b_slope) +. 2.0 in
-  {
-    id = "E5";
-    title = "Sec 5: the weakly-bounded hybrid never fully recovers cheaply";
-    table = Tabular.render t;
-    ok;
-    notes =
+  Report.make ~id:"E5" ~title:"Sec 5: the weakly-bounded hybrid never fully recovers cheaply"
+    ~ok
+    ~notes:
       [
         "recovery = completion time minus fault time; the hybrid's recovery transmits the rank \
          of the whole input through the ladder, so it grows with the sequence (here \
@@ -539,7 +528,7 @@ let e5_weak_boundedness ?(domain = 2) ?(max_len = 5) ?(seeds = 3) () =
          complete within the fault delay)";
         Printf.sprintf "slopes: hybrid %.2f vs bounded %.2f" h_slope b_slope;
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E6: knowledge timelines (§2.3–2.4). *)
@@ -564,15 +553,15 @@ let e6_knowledge_timeline ?(m = 3) ?(seeds = 10) () =
   let u = Knowledge.Universe.of_traces traces in
   let full = Norep_seq.longest ~m in
   let t =
-    Tabular.create
+    Report.table
       ~title:
         (Format.asprintf "E6: learning vs writing for input %a (norep-dup, m=%d)"
            Xset.pp_sequence full m)
       [
-        ("i", Tabular.Right);
-        ("t_i (learn, p50)", Tabular.Right);
-        ("write_i (p50)", Tabular.Right);
-        ("lead (p50)", Tabular.Right);
+        ("i", Report.Right);
+        ("t_i (learn, p50)", Report.Right);
+        ("write_i (p50)", Report.Right);
+        ("lead (p50)", Report.Right);
       ]
   in
   let tarr = Knowledge.Universe.traces u in
@@ -599,20 +588,17 @@ let e6_knowledge_timeline ?(m = 3) ?(seeds = 10) () =
         | _ -> ())
       runs_of_full;
     let p50 xs =
-      match Stats.summarize xs with Some s -> Tabular.cell_float s.Stats.p50 | None -> "-"
+      match Stats.summarize xs with Some s -> Report.float s.Stats.p50 | None -> Report.str "-"
     in
-    Tabular.add_row t [ Tabular.cell_int i; p50 !learns; p50 !writes; p50 !leads ]
+    Report.row t [ Report.int i; p50 !learns; p50 !writes; p50 !leads ]
   done;
   List.iter
     (fun run -> if not (Knowledge.Learn.stability_ok u ~run) then stab_ok := false)
     runs_of_full;
   let ok = !ok && !stab_ok && !lead_nonneg in
-  {
-    id = "E6";
-    title = "Knowledge timelines: t_i is well-defined, stable, and precedes writing";
-    table = Tabular.render t;
-    ok;
-    notes =
+  Report.make ~id:"E6" ~title:"Knowledge timelines: t_i is well-defined, stable, and precedes writing"
+    ~ok
+    ~notes:
       [
         Printf.sprintf "universe: %d traces, %d points, %d distinct receiver views"
           (Array.length tarr) (Knowledge.Universe.n_points u) (Knowledge.Universe.n_classes u);
@@ -622,7 +608,7 @@ let e6_knowledge_timeline ?(m = 3) ?(seeds = 10) () =
         "sampled universe: computed knowledge over-approximates true knowledge; the stability \
          and ordering checks are sound regardless";
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E7: throughput / cost context. *)
@@ -630,16 +616,16 @@ let e6_knowledge_timeline ?(m = 3) ?(seeds = 10) () =
 let e7_throughput ?(seeds = 3) ?(max_len = 3) () =
   let seed_list = List.init seeds (fun i -> i + 1) in
   let t =
-    Tabular.create ~title:"E7: protocol cost (messages and steps per delivered item)"
+    Report.table ~title:"E7: protocol cost (messages and steps per delivered item)"
       [
-        ("protocol", Tabular.Left);
-        ("channel", Tabular.Left);
-        ("|M_S|", Tabular.Right);
-        ("|M_R|", Tabular.Right);
-        ("runs", Tabular.Right);
-        ("clean", Tabular.Right);
-        ("msgs/item", Tabular.Right);
-        ("steps", Tabular.Right);
+        ("protocol", Report.Left);
+        ("channel", Report.Left);
+        ("|M_S|", Report.Right);
+        ("|M_R|", Report.Right);
+        ("runs", Report.Right);
+        ("clean", Report.Right);
+        ("msgs/item", Report.Right);
+        ("steps", Report.Right);
       ]
   in
   let ok = ref true in
@@ -648,15 +634,17 @@ let e7_throughput ?(seeds = 3) ?(max_len = 3) () =
       Harness.verify p ~xs { Harness.strategies; seeds = seed_list; max_steps = 100_000 }
     in
     if not (Harness.clean report) then ok := false;
-    let fcell f = match f with Some (s : Stats.summary) -> Tabular.cell_float s.Stats.mean | None -> "-" in
-    Tabular.add_row t
+    let fcell f =
+      match f with Some (s : Stats.summary) -> Report.float s.Stats.mean | None -> Report.str "-"
+    in
+    Report.row t
       [
-        p.Kernel.Protocol.name;
-        Chan.kind_name p.Kernel.Protocol.channel;
-        Tabular.cell_int p.Kernel.Protocol.sender_alphabet;
-        Tabular.cell_int p.Kernel.Protocol.receiver_alphabet;
-        Tabular.cell_int report.Harness.runs;
-        Tabular.cell_bool (Harness.clean report);
+        Report.str p.Kernel.Protocol.name;
+        Report.str (Chan.kind_name p.Kernel.Protocol.channel);
+        Report.int p.Kernel.Protocol.sender_alphabet;
+        Report.int p.Kernel.Protocol.receiver_alphabet;
+        Report.int report.Harness.runs;
+        Report.bool (Harness.clean report);
         fcell report.Harness.messages_per_item;
         fcell report.Harness.steps;
       ]
@@ -693,32 +681,29 @@ let e7_throughput ?(seeds = 3) ?(max_len = 3) () =
     (Protocols.Hybrid.protocol ~xset ~domain:2 ~drop_budget:1 ~timeout:6 ())
     (List.filter (fun x -> x <> []) (Xset.to_list xset))
     [ Strategy.round_robin; Strategy.drop_after ~at:6 1 Strategy.round_robin ];
-  {
-    id = "E7";
-    title = "Cost context: what the alpha(m) bound buys and what escaping it costs";
-    table = Tabular.render t;
-    ok = !ok;
-    notes =
+  Report.make ~id:"E7" ~title:"Cost context: what the alpha(m) bound buys and what escaping it costs"
+    ~ok:!ok
+    ~notes:
       [
         "Stenning escapes the bound with an alphabet that grows with the input; the ladder \
          escapes it with traffic that grows with the input's rank; the tight protocols stay \
          at m symbols and O(1) messages per item";
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: probabilistic X-STP — the §6 future-work question. *)
 
 let e8_probabilistic ?(trials = 40) ?(max_len = 5) () =
   let t =
-    Tabular.create
+    Report.table
       ~title:"E8: Monte-Carlo failure probability under random (non-adversarial) schedules"
       [
-        ("|X|", Tabular.Right);
-        ("counting-resend p_fail", Tabular.Right);
-        ("  of which safety", Tabular.Right);
-        ("norep-dup p_fail", Tabular.Right);
-        ("norep 95% upper", Tabular.Right);
+        ("|X|", Report.Right);
+        ("counting-resend p_fail", Report.Right);
+        ("  of which safety", Report.Right);
+        ("norep-dup p_fail", Report.Right);
+        ("norep 95% upper", Report.Right);
       ]
   in
   let strategy = Strategy.fair_random () in
@@ -744,23 +729,20 @@ let e8_probabilistic ?(trials = 40) ?(max_len = 5) () =
     if en.Proba.p_fail > 0.0 then norep_zero := false;
     let o = match eo with [ (_, e) ] -> e | _ -> assert false in
     over_pts := (n, o.Proba.p_fail) :: !over_pts;
-    Tabular.add_row t
+    Report.row t
       [
-        Tabular.cell_int n;
-        Tabular.cell_float o.Proba.p_fail;
-        Tabular.cell_float o.Proba.p_safety;
-        Tabular.cell_float en.Proba.p_fail;
-        Tabular.cell_float ~decimals:3 en.Proba.wilson_upper;
+        Report.int n;
+        Report.float o.Proba.p_fail;
+        Report.float o.Proba.p_safety;
+        Report.float en.Proba.p_fail;
+        Report.float ~decimals:3 en.Proba.wilson_upper;
       ]
   done;
   let p_first = List.assoc 1 !over_pts and p_last = List.assoc max_len !over_pts in
   let ok = !norep_zero && p_last > 0.5 && p_last >= p_first in
-  {
-    id = "E8";
-    title = "Sec 6 extension: low-probability-of-failure solutions do not come free";
-    table = Tabular.render t;
-    ok;
-    notes =
+  Report.make ~id:"E8"
+    ~title:"Sec 6 extension: low-probability-of-failure solutions do not come free" ~ok
+    ~notes:
       [
         "the paper's Sec 6 asks whether |X| > alpha(m) becomes acceptable if failures are \
          merely improbable; under a *random* fair schedule the over-bound protocol's failure \
@@ -769,7 +751,7 @@ let e8_probabilistic ?(trials = 40) ?(max_len = 5) () =
         Printf.sprintf "counting-resend p_fail: %.2f at |X|=1 -> %.2f at |X|=%d" p_first p_last
           max_len;
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: protocol-space census at m = 1. *)
@@ -778,31 +760,28 @@ let e9_census ?(samples = 300) ?(states = 3) () =
   let control_clean = Census.control_is_clean () in
   let r = Census.run ~samples ~states () in
   let t =
-    Tabular.create
+    Report.table
       ~title:
         (Printf.sprintf
            "E9: census of %d random non-uniform protocols (m=1, |X|=3 > alpha(1)=2, %d states)"
            samples states)
-      [ ("classification", Tabular.Left); ("count", Tabular.Right) ]
+      [ ("classification", Report.Left); ("count", Report.Right) ]
   in
-  Tabular.add_row t [ "broken directly (battery)"; Tabular.cell_int r.Census.broken_directly ];
-  Tabular.add_row t [ "witnessed (attack search)"; Tabular.cell_int r.Census.witnessed ];
-  Tabular.add_row t [ "undecided (truncated)"; Tabular.cell_int r.Census.undecided ];
-  Tabular.add_row t [ "SURVIVORS (would refute Thm 1)"; Tabular.cell_int r.Census.survivors ];
-  Tabular.add_separator t;
-  Tabular.add_row t [ "control at the bound clean"; Tabular.cell_bool control_clean ];
-  {
-    id = "E9";
-    title = "Theorem 1 universality probe: no sampled protocol survives";
-    table = Tabular.render t;
-    ok = Census.ok r && control_clean;
-    notes =
+  Report.row t [ Report.str "broken directly (battery)"; Report.int r.Census.broken_directly ];
+  Report.row t [ Report.str "witnessed (attack search)"; Report.int r.Census.witnessed ];
+  Report.row t [ Report.str "undecided (truncated)"; Report.int r.Census.undecided ];
+  Report.row t [ Report.str "SURVIVORS (would refute Thm 1)"; Report.int r.Census.survivors ];
+  Report.sep t;
+  Report.row t [ Report.str "control at the bound clean"; Report.bool control_clean ];
+  Report.make ~id:"E9" ~title:"Theorem 1 universality probe: no sampled protocol survives"
+    ~ok:(Census.ok r && control_clean)
+    ~notes:
       [
         "every sampled candidate for {<>, <0>, <1>}-STP(dup) fails; the hand-written control \
          at |X| = alpha(1) = 2 passes the identical classifier, so the census machinery can \
          tell correct protocols from broken ones";
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E10: the header/lag crossover on lag-bounded reordering channels. *)
@@ -815,10 +794,10 @@ let e10_crossover ?(h_max = 4) ?(lag_max = 3) () =
      lag >= h − 1.  So each column flips from witness to closed-clean
      exactly at h = lag + 2. *)
   let t =
-    Tabular.create
+    Report.table
       ~title:"E10: stenning-mod(h) over lag-bounded reordering — SAFETY witness or closed-clean"
-      (("header space h", Tabular.Right)
-      :: List.init (lag_max + 1) (fun k -> (Printf.sprintf "lag %d" k, Tabular.Left)))
+      (("header space h", Report.Right)
+      :: List.init (lag_max + 1) (fun k -> (Printf.sprintf "lag %d" k, Report.Left)))
   in
   let ok = ref true in
   for h = 1 to h_max do
@@ -841,16 +820,17 @@ let e10_crossover ?(h_max = 4) ?(lag_max = 3) () =
           match outcome with
           | Attack.Witness w ->
               if not expected_witness then ok := false;
-              Printf.sprintf "WITNESS@%d%s" w.Attack.depth
-                (if expected_witness then "" else " (!)")
+              Report.str
+                (Printf.sprintf "WITNESS@%d%s" w.Attack.depth
+                   (if expected_witness then "" else " (!)"))
           | Attack.No_violation { closed = true; _ } ->
               if expected_witness then ok := false;
-              if expected_witness then "clean (!)" else "clean"
+              Report.str (if expected_witness then "clean (!)" else "clean")
           | Attack.No_violation { closed = false; _ } ->
               ok := false;
-              "truncated (!)")
+              Report.str "truncated (!)")
     in
-    Tabular.add_row t (Tabular.cell_int h :: cells)
+    Report.row t (Report.int h :: cells)
   done;
   (* Companion boundary: Selective Repeat's sequence space over plain
      FIFO-lossy must be at least 2·window — below that, a
@@ -858,20 +838,20 @@ let e10_crossover ?(h_max = 4) ?(lag_max = 3) () =
      one.  Another exhaustive crossover, this one from the data-link
      textbooks rather than the lag axis. *)
   let sr =
-    Tabular.create
+    Report.table
       ~title:"E10b: selective repeat over fifo-lossy — sequence space M vs window w"
       [
-        ("window w", Tabular.Right);
-        ("M = w+1", Tabular.Left);
-        ("M = 2w-1", Tabular.Left);
-        ("M = 2w", Tabular.Left);
+        ("window w", Report.Right);
+        ("M = w+1", Report.Left);
+        ("M = 2w-1", Report.Left);
+        ("M = 2w", Report.Left);
       ]
   in
   List.iter
     (fun w ->
       let input = List.init w (fun _ -> 0) @ [ 1; 1 ] in
       let cell modulus ~expect_witness =
-        if modulus <= w then "-"
+        if modulus <= w then Report.str "-"
         else begin
           let p =
             Protocols.Selective_repeat.protocol_mod Chan.Fifo_lossy ~domain:2 ~window:w
@@ -883,29 +863,28 @@ let e10_crossover ?(h_max = 4) ?(lag_max = 3) () =
           with
           | Attack.Witness wtn ->
               if not expect_witness then ok := false;
-              Printf.sprintf "WITNESS@%d%s" wtn.Attack.depth (if expect_witness then "" else " (!)")
+              Report.str
+                (Printf.sprintf "WITNESS@%d%s" wtn.Attack.depth
+                   (if expect_witness then "" else " (!)"))
           | Attack.No_violation { closed = true; _ } ->
               if expect_witness then ok := false;
-              if expect_witness then "clean (!)" else "clean"
+              Report.str (if expect_witness then "clean (!)" else "clean")
           | Attack.No_violation { closed = false; _ } ->
               ok := false;
-              "truncated (!)"
+              Report.str "truncated (!)"
         end
       in
-      Tabular.add_row sr
+      Report.row sr
         [
-          Tabular.cell_int w;
+          Report.int w;
           cell (w + 1) ~expect_witness:(w + 1 < 2 * w);
           cell ((2 * w) - 1) ~expect_witness:((2 * w) - 1 < 2 * w && (2 * w) - 1 > w);
           cell (2 * w) ~expect_witness:false;
         ])
     [ 2; 3 ];
-  {
-    id = "E10";
-    title = "Header space vs reordering lag: the bound dissolves exactly at h = lag + 2";
-    table = Tabular.render t ^ "\n" ^ Tabular.render sr;
-    ok = !ok;
-    notes =
+  Report.make ~id:"E10"
+    ~title:"Header space vs reordering lag: the bound dissolves exactly at h = lag + 2" ~ok:!ok
+    ~notes:
       [
         "the paper's theorems concern unbounded reordering; on lag-bounded channels \
          (interpolating towards the synchronous models of [AUY79, AUWY82]) finite headers \
@@ -914,7 +893,7 @@ let e10_crossover ?(h_max = 4) ?(lag_max = 3) () =
         "input for header space h is 0^h 1, making the first wrap-around collision a genuine \
          value error";
       ]
-  }
+    [ Report.finish t; Report.finish sr ]
 
 (* ------------------------------------------------------------------ *)
 (* E11: the mutual-knowledge ladder — each level costs a round trip. *)
@@ -954,11 +933,11 @@ let e11_knowledge_ladder ?(m = 2) ?(seeds = 6) ?(depth = 5) () =
      level becomes unattainable in any finite run. *)
   let phi = F.Fact (F.Output_ge 1) in
   let t =
-    Tabular.create
+    Report.table
       ~title:
         (Format.asprintf "E11: first time of nested knowledge of |Y|>=1 (norep-del, input %a)"
            Xset.pp_sequence target)
-      [ ("formula", Tabular.Left); ("first time", Tabular.Right) ]
+      [ ("formula", Report.Left); ("first time", Report.Right) ]
   in
   (* Level k wraps level k−1 so the outermost operator alternates
      K_S, K_R, K_S, … as k grows. *)
@@ -983,10 +962,12 @@ let e11_knowledge_ladder ?(m = 2) ?(seeds = 6) ?(depth = 5) () =
   in
   List.iter
     (fun (formula, time) ->
-      Tabular.add_row t
+      Report.row t
         [
-          Format.asprintf "%a" F.pp formula;
-          (match time with Some v -> Tabular.cell_int v | None -> "never (in any sampled run)");
+          Report.str (Format.asprintf "%a" F.pp formula);
+          (match time with
+          | Some v -> Report.int v
+          | None -> Report.str "never (in any sampled run)");
         ])
     times;
   (* The limit of the ladder: common knowledge, computed exactly as a
@@ -995,9 +976,12 @@ let e11_knowledge_ladder ?(m = 2) ?(seeds = 6) ?(depth = 5) () =
      fails there, so no point's ~_S ∪ ~_R component is all-φ. *)
   let c_table = F.common u phi in
   let c_anywhere = List.exists (fun p -> c_table p) (Knowledge.Universe.points u) in
-  Tabular.add_separator t;
-  Tabular.add_row t
-    [ "C |Y|>=1 (common knowledge)"; (if c_anywhere then "ATTAINED (!)" else "never, provably") ];
+  Report.sep t;
+  Report.row t
+    [
+      Report.str "C |Y|>=1 (common knowledge)";
+      Report.str (if c_anywhere then "ATTAINED (!)" else "never, provably");
+    ];
   (* Shape: every attained level is strictly later than its
      predecessor (one more causal hop each), and unattained levels
      only occur as a suffix.  At any fixed time only finitely many
@@ -1012,12 +996,9 @@ let e11_knowledge_ladder ?(m = 2) ?(seeds = 6) ?(depth = 5) () =
   let ok =
     strictly_increasing (-1) times && List.length attained >= 3 && not c_anywhere
   in
-  {
-    id = "E11";
-    title = "Knowledge ladder: each level of mutual knowledge costs a causal round trip";
-    table = Tabular.render t;
-    ok;
-    notes =
+  Report.make ~id:"E11"
+    ~title:"Knowledge ladder: each level of mutual knowledge costs a causal round trip" ~ok
+    ~notes:
       [
         Printf.sprintf
           "universe: %d sampled runs over all %d repetition-free inputs (m=%d); ladder \
@@ -1027,25 +1008,25 @@ let e11_knowledge_ladder ?(m = 2) ?(seeds = 6) ?(depth = 5) () =
          than level k; common knowledge — the ladder's limit, computed exactly as a greatest \
          fixpoint over the universe — holds at no point whatsoever";
       ]
-  }
+    [ Report.finish t ]
 
 (* ------------------------------------------------------------------ *)
 (* E12: recoverability — the executable face of Property 2. *)
 
 let e12_recoverability ?(input = [ 0; 1 ]) () =
   let t =
-    Tabular.create
+    Report.table
       ~title:
         (Format.asprintf "E12: reachable dead states (completion unreachable) on input %a"
            Xset.pp_sequence input)
       [
-        ("protocol", Tabular.Left);
-        ("channel", Tabular.Left);
-        ("states", Tabular.Right);
-        ("dead", Tabular.Right);
-        ("closed", Tabular.Right);
-        ("recoverable", Tabular.Right);
-        ("as predicted", Tabular.Right);
+        ("protocol", Report.Left);
+        ("channel", Report.Left);
+        ("states", Report.Right);
+        ("dead", Report.Right);
+        ("closed", Report.Right);
+        ("recoverable", Report.Right);
+        ("as predicted", Report.Right);
       ]
   in
   let ok = ref true in
@@ -1054,15 +1035,15 @@ let e12_recoverability ?(input = [ 0; 1 ]) () =
     let good = Spec.recoverable r = expect_recoverable && r.Spec.closed in
     if not good then ok := false;
     if not (Spec.receiver_deterministic p ~trials:4) then ok := false;
-    Tabular.add_row t
+    Report.row t
       [
-        p.Kernel.Protocol.name;
-        Chan.kind_name p.Kernel.Protocol.channel;
-        Tabular.cell_int r.Spec.states;
-        Tabular.cell_int r.Spec.dead;
-        Tabular.cell_bool r.Spec.closed;
-        Tabular.cell_bool (Spec.recoverable r);
-        Tabular.cell_bool good;
+        Report.str p.Kernel.Protocol.name;
+        Report.str (Chan.kind_name p.Kernel.Protocol.channel);
+        Report.int r.Spec.states;
+        Report.int r.Spec.dead;
+        Report.bool r.Spec.closed;
+        Report.bool (Spec.recoverable r);
+        Report.bool good;
       ]
   in
   row (Protocols.Norep.dup ~m:2) ~expect_recoverable:true;
@@ -1073,12 +1054,9 @@ let e12_recoverability ?(input = [ 0; 1 ]) () =
   (* One-shot senders die with the first deletion: dead states. *)
   row (Protocols.Counting.protocol_on Chan.Reorder_del ~domain:2) ~expect_recoverable:false;
   row (Protocols.Counting.protocol_on Chan.Fifo_lossy ~domain:2) ~expect_recoverable:false;
-  {
-    id = "E12";
-    title = "Property 2's executable face: retransmission keeps every prefix extendable";
-    table = Tabular.render t;
-    ok = !ok;
-    notes =
+  Report.make ~id:"E12"
+    ~title:"Property 2's executable face: retransmission keeps every prefix extendable" ~ok:!ok
+    ~notes:
       [
         "dead = states from which no schedule completes, excluding anything the exploration \
          budget could have hidden (cap-tainted states are never counted dead)";
@@ -1087,36 +1065,50 @@ let e12_recoverability ?(input = [ 0; 1 ]) () =
          delivers the missing items";
         "Property 1a residue (deterministic receiver construction) checked for every row";
       ]
-  }
+    [ Report.finish t ]
+
+(* The one place experiments are registered: the registry feeds the
+   CLI, the bench tables, and [all] alike. *)
+let () =
+  let reg id doc quick full = Kernel.Registry.register_experiment ~id ~doc ~quick ~full in
+  reg "E1" "alpha(m) values and exhaustive tightness verification"
+    (fun () -> e1_alpha_tightness ~m_max:6 ~m_verify:2 ~seeds:2 ())
+    (fun () -> e1_alpha_tightness ());
+  reg "E2" "Theorem 1 impossibility attacks over reorder+dup"
+    (fun () -> e2_dup_attacks ~m:2 ())
+    (fun () -> e2_dup_attacks ());
+  reg "E3" "Theorem 2 impossibility attacks over reorder+del"
+    (fun () -> e3_del_attacks ~m:2 ())
+    (fun () -> e3_del_attacks ());
+  reg "E4" "bounded vs unbounded learning-gap profiles (Definition 2)"
+    (fun () -> e4_boundedness ~domain:3 ~max_len:2 ~seeds:2 ())
+    (fun () -> e4_boundedness ());
+  reg "E5" "weak boundedness: recovery cost after one fault (Sec 5)"
+    (fun () -> e5_weak_boundedness ~domain:2 ~max_len:4 ~seeds:2 ())
+    (fun () -> e5_weak_boundedness ());
+  reg "E6" "knowledge timelines t_i: stability and lead over writing"
+    (fun () -> e6_knowledge_timeline ~m:2 ~seeds:4 ())
+    (fun () -> e6_knowledge_timeline ());
+  reg "E7" "protocol cost: messages and steps per delivered item"
+    (fun () -> e7_throughput ~seeds:2 ~max_len:2 ())
+    (fun () -> e7_throughput ());
+  reg "E8" "Monte-Carlo failure probability of over-bound protocols"
+    (fun () -> e8_probabilistic ~trials:10 ~max_len:3 ())
+    (fun () -> e8_probabilistic ());
+  reg "E9" "protocol-space census at m=1 (Theorem 1 universality)"
+    (fun () -> e9_census ~samples:40 ())
+    (fun () -> e9_census ());
+  reg "E10" "header space vs reordering lag crossover"
+    (fun () -> e10_crossover ~h_max:3 ~lag_max:2 ())
+    (fun () -> e10_crossover ());
+  reg "E11" "nested mutual knowledge: one round trip per level"
+    (fun () -> e11_knowledge_ladder ~m:2 ~seeds:3 ~depth:4 ())
+    (fun () -> e11_knowledge_ladder ());
+  reg "E12" "recoverability: dead-state analysis (Property 2)"
+    (fun () -> e12_recoverability ~input:[ 0 ] ())
+    (fun () -> e12_recoverability ())
 
 let all ?(quick = false) () =
-  if quick then
-    [
-      e1_alpha_tightness ~m_max:6 ~m_verify:2 ~seeds:2 ();
-      e2_dup_attacks ~m:2 ();
-      e3_del_attacks ~m:2 ();
-      e4_boundedness ~domain:3 ~max_len:2 ~seeds:2 ();
-      e5_weak_boundedness ~domain:2 ~max_len:4 ~seeds:2 ();
-      e6_knowledge_timeline ~m:2 ~seeds:4 ();
-      e7_throughput ~seeds:2 ~max_len:2 ();
-      e8_probabilistic ~trials:10 ~max_len:3 ();
-      e9_census ~samples:40 ();
-      e10_crossover ~h_max:3 ~lag_max:2 ();
-      e11_knowledge_ladder ~m:2 ~seeds:3 ~depth:4 ();
-      e12_recoverability ~input:[ 0 ] ();
-    ]
-  else
-    [
-      e1_alpha_tightness ();
-      e2_dup_attacks ();
-      e3_del_attacks ();
-      e4_boundedness ();
-      e5_weak_boundedness ();
-      e6_knowledge_timeline ();
-      e7_throughput ();
-      e8_probabilistic ();
-      e9_census ();
-      e10_crossover ();
-      e11_knowledge_ladder ();
-      e12_recoverability ();
-    ]
+  List.map
+    (fun e -> if quick then e.Kernel.Registry.e_quick () else e.Kernel.Registry.e_full ())
+    (Kernel.Registry.experiments ())

@@ -41,13 +41,27 @@
     - {b E12}: recoverability (dead-state analysis), Property 2's
       executable face. *)
 
-type result = {
-  id : string;  (** "E1" … "E7" *)
-  title : string;
-  table : string;  (** rendered {!Stdx.Tabular} output *)
-  ok : bool;  (** the paper-predicted shape held *)
-  notes : string list;  (** caveats, parameters, deviations *)
-}
+type result = Stdx.Report.t
+(** Each experiment now builds a typed {!Stdx.Report} instead of a
+    rendered string: the text renderer reproduces the old
+    {!Stdx.Tabular} output byte-for-byte, and the same value feeds the
+    JSON/CSV artifact writers.  The legacy field reads are available
+    as accessors below. *)
+
+val id : result -> string
+(** "E1" … "E12". *)
+
+val title : result -> string
+
+val ok : result -> bool
+(** The paper-predicted shape held. *)
+
+val table : result -> string
+(** The rendered text body — identical bytes to the pre-IR [table]
+    field. *)
+
+val notes : result -> string list
+(** Caveats, parameters, deviations. *)
 
 val e1_alpha_tightness : ?m_max:int -> ?m_verify:int -> ?seeds:int -> unit -> result
 (** [m_max] (default 12) rows of the α table; exhaustive protocol

@@ -28,6 +28,7 @@ type report = {
   complete_runs : int;
   audit_failures : int;
   failures : failure list;
+  failures_total : int;
   steps : Stdx.Stats.summary option;
   messages : Stdx.Stats.summary option;
   messages_per_item : Stdx.Stats.summary option;
@@ -47,9 +48,12 @@ let verify_one p ~input spec =
         spec.seeds)
     spec.strategies
 
-let verify (p : Kernel.Protocol.t) ~xs spec =
+let verify (p : Kernel.Protocol.t) ~xs ?max_failures spec =
   let runs = ref 0 and safe = ref 0 and complete = ref 0 and audit_bad = ref 0 in
-  let failures = ref [] in
+  (* Failures are kept in chronological order; [max_failures] caps how
+     many are *stored* (the earliest ones), never how many are
+     counted. *)
+  let failures = ref [] and stored = ref 0 and failures_total = ref 0 in
   let steps = ref [] and messages = ref [] and per_item = ref [] in
   List.iter
     (fun input ->
@@ -69,10 +73,15 @@ let verify (p : Kernel.Protocol.t) ~xs spec =
                 if n > 0 then
                   per_item := (float_of_int v.Verdict.messages /. float_of_int n) :: !per_item
               end
-              else
-                failures :=
-                  { input; strategy_name = strategy.Strategy.name; seed; verdict = v }
-                  :: !failures)
+              else begin
+                incr failures_total;
+                if match max_failures with Some cap -> !stored < cap | None -> true then begin
+                  incr stored;
+                  failures :=
+                    { input; strategy_name = strategy.Strategy.name; seed; verdict = v }
+                    :: !failures
+                end
+              end)
             spec.seeds)
         spec.strategies)
     xs;
@@ -83,16 +92,77 @@ let verify (p : Kernel.Protocol.t) ~xs spec =
     complete_runs = !complete;
     audit_failures = !audit_bad;
     failures = List.rev !failures;
+    failures_total = !failures_total;
     steps = Stdx.Stats.summarize !steps;
     messages = Stdx.Stats.summarize !messages;
     messages_per_item = Stdx.Stats.summarize !per_item;
   }
 
-let clean r = r.failures = [] && r.audit_failures = 0
+let clean r = r.failures_total = 0 && r.audit_failures = 0
 
 let pp_report ppf r =
   Format.fprintf ppf "%s: %d runs, %d safe, %d complete, %d failures" r.protocol_name r.runs
-    r.safe_runs r.complete_runs (List.length r.failures);
+    r.safe_runs r.complete_runs r.failures_total;
   match r.messages_per_item with
   | Some s -> Format.fprintf ppf " (msgs/item mean %.1f)" s.Stdx.Stats.mean
   | None -> ()
+
+let seq_text xs = "<" ^ String.concat " " (List.map string_of_int xs) ^ ">"
+
+let to_report r =
+  let module R = Stdx.Report in
+  let fcell = function Some (s : Stdx.Stats.summary) -> R.float s.mean | None -> R.str "-" in
+  let metrics =
+    R.Metrics
+      {
+        title = None;
+        pairs =
+          [
+            ("protocol", R.str r.protocol_name);
+            ("runs", R.int r.runs);
+            ("safe_runs", R.int r.safe_runs);
+            ("complete_runs", R.int r.complete_runs);
+            ("audit_failures", R.int r.audit_failures);
+            ("failures", R.int r.failures_total);
+            ("steps_mean", fcell r.steps);
+            ("messages_mean", fcell r.messages);
+            ("messages_per_item_mean", fcell r.messages_per_item);
+          ];
+      }
+  in
+  let items =
+    if r.failures = [] then [ metrics ]
+    else begin
+      let t =
+        R.table ~title:"failures (chronological)"
+          [
+            ("input", R.Left);
+            ("strategy", R.Left);
+            ("seed", R.Right);
+            ("verdict", R.Left);
+          ]
+      in
+      List.iter
+        (fun f ->
+          R.row t
+            [
+              R.str (seq_text f.input);
+              R.str f.strategy_name;
+              R.int f.seed;
+              R.str (Format.asprintf "%a" Verdict.pp f.verdict);
+            ])
+        r.failures;
+      [ metrics; R.finish t ]
+    end
+  in
+  let notes =
+    if r.failures_total > List.length r.failures then
+      [
+        Printf.sprintf "failure list truncated: showing the first %d of %d"
+          (List.length r.failures) r.failures_total;
+      ]
+    else []
+  in
+  R.make ~id:"verify"
+    ~title:(Printf.sprintf "batch verification of %s" r.protocol_name)
+    ~ok:(clean r) ~notes items

@@ -33,14 +33,21 @@ type report = {
           model audit ({!Kernel.Audit}) — always 0 unless the
           simulator itself is broken, which is exactly why it is
           checked on every run *)
-  failures : failure list;  (** runs that were unsafe or incomplete *)
+  failures : failure list;
+      (** runs that were unsafe or incomplete, in chronological order
+          (the order the harness executed them); possibly truncated to
+          the [max_failures] earliest *)
+  failures_total : int;  (** failing runs encountered, never truncated *)
   steps : Stdx.Stats.summary option;  (** over completed runs *)
   messages : Stdx.Stats.summary option;
   messages_per_item : Stdx.Stats.summary option;
 }
 
-val verify : Kernel.Protocol.t -> xs:int list list -> spec -> report
-(** Every input × strategy × seed. *)
+val verify : Kernel.Protocol.t -> xs:int list list -> ?max_failures:int -> spec -> report
+(** Every input × strategy × seed.  [max_failures] caps how many
+    failure records are retained (the earliest ones); the
+    [failures_total] count and the [clean] verdict are unaffected, and
+    {!to_report} notes the truncation. *)
 
 val verify_one :
   Kernel.Protocol.t -> input:int list -> spec -> Verdict.t list
@@ -50,3 +57,8 @@ val clean : report -> bool
 (** No failures and no audit violations at all. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val to_report : report -> Stdx.Report.t
+(** The report as typed IR (id ["verify"]): a metrics block, the
+    failure table when non-empty, and a truncation note when
+    [max_failures] dropped records. *)

@@ -73,3 +73,28 @@ let failure_by_length p ~inputs ~strategy ~trials ~max_steps ?(seed = 1) ?post_r
       (len, of_counts ~trials:t ~safety_failures:s ~liveness_failures:l) :: acc)
     by_len []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let to_report series =
+  let module R = Stdx.Report in
+  let t =
+    R.table ~title:"Monte-Carlo failure estimates by input length"
+      [
+        ("|X|", R.Right);
+        ("trials", R.Right);
+        ("p_fail", R.Right);
+        ("p_safety", R.Right);
+        ("wilson 95% upper", R.Right);
+      ]
+  in
+  List.iter
+    (fun (len, e) ->
+      R.row t
+        [
+          R.int len;
+          R.int e.trials;
+          R.float e.p_fail;
+          R.float e.p_safety;
+          R.float ~decimals:3 e.wilson_upper;
+        ])
+    series;
+  R.make ~id:"proba" ~title:"probabilistic X-STP estimates" [ R.finish t ]

@@ -65,3 +65,6 @@ val failure_by_length :
 val wilson_upper : failures:int -> trials:int -> float
 (** 95% (z = 1.96) Wilson score upper bound for a binomial
     proportion. *)
+
+val to_report : (int * estimate) list -> Stdx.Report.t
+(** A {!failure_by_length} series as typed IR (id ["proba"]). *)

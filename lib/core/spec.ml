@@ -137,3 +137,20 @@ let pp_recoverability ppf r =
   Format.fprintf ppf "%d states (%d completed, %d dead, %d frontier, %s)" r.states r.completed
     r.dead r.frontier
     (if r.closed then "closed" else "truncated")
+
+let recoverability_report ?protocol r =
+  let module R = Stdx.Report in
+  let pairs =
+    (match protocol with Some p -> [ ("protocol", R.str p) ] | None -> [])
+    @ [
+        ("states", R.int r.states);
+        ("completed", R.int r.completed);
+        ("dead", R.int r.dead);
+        ("frontier", R.int r.frontier);
+        ("closed", R.bool r.closed);
+        ("recoverable", R.bool (recoverable r));
+      ]
+  in
+  R.make ~id:"recover" ~title:"dead-state (Property 2) analysis"
+    ~ok:(recoverable r)
+    [ R.Metrics { title = None; pairs } ]

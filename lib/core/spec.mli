@@ -62,3 +62,6 @@ val receiver_deterministic : Kernel.Protocol.t -> trials:int -> bool
     initial receiver fingerprint. *)
 
 val pp_recoverability : Format.formatter -> recoverability -> unit
+
+val recoverability_report : ?protocol:string -> recoverability -> Stdx.Report.t
+(** The analysis as typed IR (id ["recover"], [ok = recoverable]). *)

@@ -31,3 +31,24 @@ let pp ppf t =
     (if t.safe then "safe" else "UNSAFE")
     (if t.complete then ",complete" else if t.deadlocked then ",DEADLOCK" else ",incomplete")
     t.steps t.messages
+
+let to_report t =
+  let module R = Stdx.Report in
+  let opt_int = function Some v -> R.int v | None -> R.str "-" in
+  R.make ~id:"verdict" ~title:"single-run verdict" ~ok:(all_good t)
+    [
+      R.Metrics
+        {
+          title = None;
+          pairs =
+            [
+              ("safe", R.bool t.safe);
+              ("complete", R.bool t.complete);
+              ("deadlocked", R.bool t.deadlocked);
+              ("steps", R.int t.steps);
+              ("messages", R.int t.messages);
+              ("first_violation", opt_int t.first_violation);
+              ("completed_at", opt_int t.completed_at);
+            ];
+        };
+    ]

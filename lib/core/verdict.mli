@@ -22,3 +22,6 @@ val all_good : t -> bool
 (** Safe and complete. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_report : t -> Stdx.Report.t
+(** The verdict as typed IR (id ["verdict"], [ok = all_good]). *)

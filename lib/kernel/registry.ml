@@ -1,0 +1,67 @@
+type config = {
+  channel : Channel.Chan.kind;
+  domain : int;
+  max_len : int;
+  header_space : int;
+  drop_budget : int;
+  window : int;
+}
+
+let default =
+  {
+    channel = Channel.Chan.Reorder_dup;
+    domain = 2;
+    max_len = 3;
+    header_space = 2;
+    drop_budget = 1;
+    window = 2;
+  }
+
+type protocol_entry = {
+  p_name : string;
+  p_doc : string;
+  p_build : config -> (Protocol.t, string) result;
+}
+
+(* Registration order is meaningful (it drives CLI listings), so keep
+   a list rather than a hash table; both tables stay tiny. *)
+let protocol_table : protocol_entry list ref = ref []
+
+let register_protocol ~name ~doc build =
+  if List.exists (fun e -> e.p_name = name) !protocol_table then
+    invalid_arg (Printf.sprintf "Registry.register_protocol: duplicate %S" name);
+  protocol_table := !protocol_table @ [ { p_name = name; p_doc = doc; p_build = build } ]
+
+let protocol_names () = List.map (fun e -> e.p_name) !protocol_table
+
+let find_protocol name = List.find_opt (fun e -> e.p_name = name) !protocol_table
+
+let build_protocol ~name config =
+  match find_protocol name with
+  | Some e -> e.p_build config
+  | None -> Error (Printf.sprintf "unknown protocol %S" name)
+
+let channel_forms () = [ "perfect"; "fifo-lossy"; "dup"; "del"; "lag:K" ]
+
+type experiment_entry = {
+  e_id : string;
+  e_doc : string;
+  e_quick : unit -> Stdx.Report.t;
+  e_full : unit -> Stdx.Report.t;
+}
+
+let experiment_table : experiment_entry list ref = ref []
+
+let register_experiment ~id ~doc ~quick ~full =
+  if List.exists (fun e -> e.e_id = id) !experiment_table then
+    invalid_arg (Printf.sprintf "Registry.register_experiment: duplicate %S" id);
+  experiment_table :=
+    !experiment_table @ [ { e_id = id; e_doc = doc; e_quick = quick; e_full = full } ]
+
+let experiment_ids () = List.map (fun e -> e.e_id) !experiment_table
+
+let experiments () = !experiment_table
+
+let find_experiment id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.e_id = id) !experiment_table

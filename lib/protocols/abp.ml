@@ -55,3 +55,7 @@ let protocol_on channel ~domain =
   }
 
 let protocol ~domain = protocol_on Channel.Chan.Fifo_lossy ~domain
+
+let () =
+  Kernel.Registry.register_protocol ~name:"abp" ~doc:"Alternating Bit protocol"
+    (fun cfg -> Ok (protocol_on cfg.Kernel.Registry.channel ~domain:cfg.Kernel.Registry.domain))

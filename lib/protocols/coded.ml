@@ -76,3 +76,15 @@ let dup ~m ~xs =
 let del ~m ~xs =
   make ~name:(Printf.sprintf "coded-del(m=%d,|X|=%d)" m (List.length xs))
     ~channel:Channel.Chan.Reorder_del ~m ~xs
+
+let () =
+  Kernel.Registry.register_protocol ~name:"coded"
+    ~doc:"mu-coded protocol for an explicit allowable set"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; _ } = cfg in
+      let xs = [] :: List.map (fun d -> [ d ]) (List.init domain Fun.id) in
+      match
+        if Channel.Chan.deletes channel then del ~m:domain ~xs else dup ~m:domain ~xs
+      with
+      | Ok p -> Ok p
+      | Error e -> Error (Format.asprintf "coded: %a" Seqspace.Codes.pp_error e))

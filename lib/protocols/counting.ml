@@ -57,3 +57,10 @@ let resend channel ~domain =
     make_receiver =
       (fun () -> Proc.make ~state:{ last_written = None } ~step:resend_receiver_step ());
   }
+
+let () =
+  Kernel.Registry.register_protocol ~name:"counting" ~doc:"one-shot counting sender"
+    (fun cfg -> Ok (protocol_on cfg.Kernel.Registry.channel ~domain:cfg.Kernel.Registry.domain));
+  Kernel.Registry.register_protocol ~name:"counting-resend"
+    ~doc:"counting sender with retransmission"
+    (fun cfg -> Ok (resend cfg.Kernel.Registry.channel ~domain:cfg.Kernel.Registry.domain))

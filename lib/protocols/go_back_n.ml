@@ -73,3 +73,9 @@ let protocol_on channel ~domain ~window =
   }
 
 let protocol ~domain ~window = protocol_on Channel.Chan.Fifo_lossy ~domain ~window
+
+let () =
+  Kernel.Registry.register_protocol ~name:"go-back-n" ~doc:"Go-Back-N sliding window"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; window; _ } = cfg in
+      Ok (protocol_on channel ~domain ~window))

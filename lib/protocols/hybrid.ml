@@ -132,3 +132,11 @@ let protocol ~xset ~domain ~drop_budget ?(timeout = 8) () =
             }
           ~step:(receiver_step xset) ());
   }
+
+let () =
+  Kernel.Registry.register_protocol ~name:"hybrid"
+    ~doc:"weakly bounded ABP-then-ladder hybrid (Sec 5)"
+    (fun cfg ->
+      let { Kernel.Registry.domain; max_len; drop_budget; _ } = cfg in
+      let xset = Seqspace.Xset.All_upto { domain; max_len } in
+      Ok (protocol ~xset ~domain ~drop_budget ()))

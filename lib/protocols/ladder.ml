@@ -79,3 +79,11 @@ let expected_learning_steps ~xset ~drop_budget x =
   | Some k ->
       (* k·W copies of a out, k·W echoes back, one terminator. *)
       (2 * k * w) + 1
+
+let () =
+  Kernel.Registry.register_protocol ~name:"ladder"
+    ~doc:"unbounded counting ladder (AFWZ89 role)"
+    (fun cfg ->
+      let { Kernel.Registry.domain; max_len; drop_budget; _ } = cfg in
+      let xset = Seqspace.Xset.All_upto { domain; max_len } in
+      Ok (protocol ~xset ~drop_budget))

@@ -44,3 +44,10 @@ let make ~name ~channel ~m =
 let dup ~m = make ~name:(Printf.sprintf "norep-dup(m=%d)" m) ~channel:Channel.Chan.Reorder_dup ~m
 
 let del ~m = make ~name:(Printf.sprintf "norep-del(m=%d)" m) ~channel:Channel.Chan.Reorder_del ~m
+
+let () =
+  Kernel.Registry.register_protocol ~name:"norep"
+    ~doc:"the paper's tight repetition-free protocol (Sec 3/4)"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; _ } = cfg in
+      Ok (if Channel.Chan.deletes channel then del ~m:domain else dup ~m:domain))

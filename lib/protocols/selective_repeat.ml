@@ -123,3 +123,10 @@ let protocol_mod channel ~domain ~window ~modulus =
 
 let protocol ~domain ~window =
   protocol_mod Channel.Chan.Fifo_lossy ~domain ~window ~modulus:(2 * window)
+
+let () =
+  Kernel.Registry.register_protocol ~name:"selective-repeat"
+    ~doc:"Selective Repeat sliding window (M = 2w)"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; window; _ } = cfg in
+      Ok (protocol_mod channel ~domain ~window ~modulus:(2 * window)))

@@ -45,3 +45,10 @@ let protocol_on channel ~domain ~max_len =
   }
 
 let protocol ~domain ~max_len = protocol_on Channel.Chan.Reorder_del ~domain ~max_len
+
+let () =
+  Kernel.Registry.register_protocol ~name:"stenning"
+    ~doc:"Stenning with unbounded headers"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; max_len; _ } = cfg in
+      Ok (protocol_on channel ~domain ~max_len))

@@ -49,3 +49,10 @@ let protocol_on channel ~domain ~header_space =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; r_hs = header_space; got = 0 } ~step:receiver_step ());
   }
+
+let () =
+  Kernel.Registry.register_protocol ~name:"stenning-mod"
+    ~doc:"Stenning with headers mod header-space (the LMF88 victim)"
+    (fun cfg ->
+      let { Kernel.Registry.channel; domain; header_space; _ } = cfg in
+      Ok (protocol_on channel ~domain ~header_space))

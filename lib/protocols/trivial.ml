@@ -22,3 +22,7 @@ let protocol ~domain =
     make_sender = (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:sender_step ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:receiver_step ());
   }
+
+let () =
+  Kernel.Registry.register_protocol ~name:"trivial" ~doc:"perfect-channel baseline"
+    (fun cfg -> Ok (protocol ~domain:cfg.Kernel.Registry.domain))

@@ -124,6 +124,26 @@ let to_string t =
     Buffer.contents buf
   end
 
+let of_string s =
+  let len = String.length s in
+  if len = 0 then None
+  else begin
+    (* Chunks of 9 decimal digits map directly onto base-1e9 limbs. *)
+    let rec chunks stop acc =
+      if stop <= 0 then Some acc
+      else begin
+        let start = max 0 (stop - 9) in
+        let chunk = String.sub s start (stop - start) in
+        if String.for_all (fun c -> c >= '0' && c <= '9') chunk then
+          chunks start (int_of_string chunk :: acc)
+        else None
+      end
+    in
+    match chunks len [] with
+    | Some limbs -> Some (normalize (Array.of_list (List.rev limbs)))
+    | None -> None
+  end
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
 let factorial n =

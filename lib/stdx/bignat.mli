@@ -36,6 +36,11 @@ val equal : t -> t -> bool
 val to_string : t -> string
 (** Decimal rendering, e.g. [to_string (factorial 25)]. *)
 
+val of_string : string -> t option
+(** Inverse of {!to_string}: parse a non-empty all-digit decimal
+    string.  [None] on anything else.  Leading zeros are accepted and
+    normalised away. *)
+
 val pp : Format.formatter -> t -> unit
 
 val factorial : int -> t

@@ -1,0 +1,280 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------- printing ------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest of the standard precisions that round-trips the double, so
+   printing is a pure function of the value and re-parsing recovers it
+   exactly — both halves of the fixpoint the tests pin. *)
+let float_repr f =
+  let try_prec p =
+    let s = Printf.sprintf "%.*g" p f in
+    if float_of_string s = f then Some s else None
+  in
+  let s =
+    match try_prec 12 with
+    | Some s -> s
+    | None -> ( match try_prec 15 with Some s -> s | None -> Printf.sprintf "%.17g" f)
+  in
+  (* Keep the token in the number grammar: "3" would re-parse as Int. *)
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s else s ^ ".0"
+
+let rec write buf ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[";
+      List.iteri
+        (fun i item ->
+          Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+          Buffer.add_string buf (pad (indent + 2));
+          write buf ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun i (k, item) ->
+          Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+          Buffer.add_string buf (pad (indent + 2));
+          escape buf k;
+          Buffer.add_string buf ": ";
+          write buf ~indent:(indent + 2) item)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf ~indent:0 v;
+  Buffer.contents buf
+
+(* ------------------------- parsing ------------------------- *)
+
+exception Fail of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_of_code buf code =
+    (* Only the BMP; surrogate pairs in escapes are not emitted by our
+       printer and are rejected here. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              if code >= 0xd800 && code <= 0xdfff then fail "surrogate escapes unsupported";
+              pos := !pos + 4;
+              utf8_of_code buf code;
+              go ()
+          | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
+          | None -> fail "unterminated escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | Some _ | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | Some c -> fail (Printf.sprintf "expected ',' or ']', found %C" c)
+            | None -> fail "unterminated array"
+          in
+          List (items [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev (kv :: acc)
+            | Some c -> fail (Printf.sprintf "expected ',' or '}', found %C" c)
+            | None -> fail "unterminated object"
+          in
+          Obj (fields [])
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) -> Error (Printf.sprintf "json: at byte %d: %s" at msg)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | String a, String b -> String.equal a b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -1,0 +1,33 @@
+(** Minimal JSON values: the report artifacts' wire format.
+
+    The repository's machine-readable artifacts (experiment reports,
+    bench timings) are small and flat, so a dependency-free value type
+    with a deterministic printer and a strict parser beats pulling in a
+    json library.  The printer is stable: a given value always renders
+    to the same bytes, and [to_string] ∘ [parse] is the identity on
+    printer output — the round-trip property the golden schema tests
+    pin. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** key order is preserved verbatim *)
+
+val to_string : t -> string
+(** Deterministic, human-readable rendering (two-space indent).
+    Non-finite floats render as [null] (JSON has no NaN/Inf). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the full JSON grammar.  Numbers without a
+    fraction or exponent that fit in an OCaml [int] parse as [Int],
+    everything else as [Float].  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any.  [None] on
+    non-objects. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,36 @@
+Every --json artifact the CLI writes must validate against the
+report schema (lib/stdx/report.mli) — this is the report-schema gate
+that `make verify` also runs.
+
+An experiment report set:
+
+  $ stp experiments --quick --only E1 --json exp.json > /dev/null
+  $ stp validate exp.json
+  exp.json: valid report artifact, 1 report(s), schema version 1
+
+An attack search outcome (two allowable inputs: the space closes with
+no witness, and the artifact still validates):
+
+  $ stp attack -p norep -d 2 --json attack.json > /dev/null
+  $ stp validate attack.json
+  attack.json: valid report artifact, 1 report(s), schema version 1
+
+The alpha table, plus the CSV renderer on stdout:
+
+  $ stp alpha -m 3 --format csv --json alpha.json
+  # report: alpha: the tight bound alpha(m)
+  # table: alpha(m) = m! * sum_{k<=m} 1/k!  (Wang & Zuck 1989)
+  m,alpha(m)
+  0,1
+  1,2
+  2,5
+  3,16
+  $ stp validate alpha.json
+  alpha.json: valid report artifact, 1 report(s), schema version 1
+
+Corrupt artifacts are rejected:
+
+  $ echo '{"schema_version": 99, "id": "x"}' > bad.json
+  $ stp validate bad.json
+  stp: bad.json: invalid artifact: unsupported schema_version 99 (expected 1)
+  [124]

@@ -256,11 +256,47 @@ let prop_dup_deliverable_monotone =
       in
       ok)
 
+(* ------------------------- kind names ------------------------- *)
+
+(* [of_string] is the single channel-kind parser (CLI, bench,
+   examples); it must invert [to_string] on every kind. *)
+let kind_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ Chan.Perfect; Chan.Fifo_lossy; Chan.Reorder_dup; Chan.Reorder_del ];
+        map (fun lag -> Chan.Bounded_reorder { lag }) (int_bound 50);
+      ])
+
+let kind_arbitrary = QCheck.make ~print:Chan.kind_name kind_gen
+
+let prop_kind_string_round_trip =
+  QCheck.Test.make ~name:"of_string (to_string k) = Some k" ~count:200 kind_arbitrary (fun k ->
+      Chan.of_string (Chan.to_string k) = Some k)
+
+let test_kind_string_aliases () =
+  let parses s k = check Alcotest.bool s true (Chan.of_string s = Some k) in
+  parses "fifo" Chan.Fifo_lossy;
+  parses "lossy" Chan.Fifo_lossy;
+  parses "reorder+dup" Chan.Reorder_dup;
+  parses "reorder-dup" Chan.Reorder_dup;
+  parses "reorder+del" Chan.Reorder_del;
+  parses "reorder-del" Chan.Reorder_del;
+  parses "lag=3" (Chan.Bounded_reorder { lag = 3 });
+  parses "lag:0" (Chan.Bounded_reorder { lag = 0 });
+  check Alcotest.bool "negative lag rejected" true (Chan.of_string "lag:-1" = None);
+  check Alcotest.bool "junk rejected" true (Chan.of_string "carrier-pigeon" = None);
+  check Alcotest.bool "empty rejected" true (Chan.of_string "" = None)
+
 let () =
   Alcotest.run "channel"
     [
       ( "kinds",
-        [ Alcotest.test_case "predicates" `Quick test_kind_predicates ] );
+        [
+          Alcotest.test_case "predicates" `Quick test_kind_predicates;
+          Alcotest.test_case "name aliases" `Quick test_kind_string_aliases;
+          qtest prop_kind_string_round_trip;
+        ] );
       ( "perfect/fifo",
         [
           Alcotest.test_case "fifo order" `Quick test_perfect_fifo_order;

@@ -5,14 +5,15 @@
 let check = Alcotest.check
 
 let assert_ok r =
-  if not r.Core.Experiments.ok then
-    Alcotest.failf "%s shape violated:@.%s@.%s" r.Core.Experiments.id r.Core.Experiments.table
-      (String.concat "\n" r.Core.Experiments.notes)
+  if not (Core.Experiments.ok r) then
+    Alcotest.failf "%s shape violated:@.%s@.%s" (Core.Experiments.id r)
+      (Core.Experiments.table r)
+      (String.concat "\n" (Core.Experiments.notes r))
 
 let test_e1 () =
   let r = Core.Experiments.e1_alpha_tightness ~m_max:6 ~m_verify:2 ~seeds:2 () in
   assert_ok r;
-  check Alcotest.string "id" "E1" r.Core.Experiments.id
+  check Alcotest.string "id" "E1" (Core.Experiments.id r)
 
 let test_e2 () = assert_ok (Core.Experiments.e2_dup_attacks ~m:2 ())
 
@@ -39,8 +40,8 @@ let test_e12 () = assert_ok (Core.Experiments.e12_recoverability ~input:[ 0 ] ()
 
 let test_tables_render () =
   let r = Core.Experiments.e1_alpha_tightness ~m_max:3 ~m_verify:0 ~seeds:1 () in
-  check Alcotest.bool "nonempty table" true (String.length r.Core.Experiments.table > 0);
-  check Alcotest.bool "has notes" true (r.Core.Experiments.notes <> [])
+  check Alcotest.bool "nonempty table" true (String.length (Core.Experiments.table r) > 0);
+  check Alcotest.bool "has notes" true (Core.Experiments.notes r <> [])
 
 let () =
   Alcotest.run "experiments"
