@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test report-schema bench bench-smoke clean
+.PHONY: all verify test report-schema bench bench-smoke bench-artifact perf-gate clean
 
 all:
 	dune build
@@ -32,6 +32,21 @@ bench:
 # the plumbing (and the JSON schema) is exercised end to end.
 bench-smoke:
 	dune exec bench/main.exe -- --micro --quota 0.05 --json BENCH_smoke.json
+
+# The committed perf baseline (BENCH_PR4.json): a real-quota timing
+# artifact checked into the repo so future changes can be compared
+# against it with `make perf-gate`.
+bench-artifact:
+	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR4.json
+
+# Report-only perf gate: run a fresh timing pass and diff it against
+# the committed baseline with a tolerance band.  Informational — it
+# prints per-benchmark verdicts and always exits 0 on valid
+# artifacts, so CI noise cannot fail a build.
+perf-gate:
+	dune build bench/main.exe bench/perf_gate.exe
+	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest.json
+	_build/default/bench/perf_gate.exe BENCH_PR4.json _build/BENCH_latest.json
 
 clean:
 	dune clean

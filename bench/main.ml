@@ -12,10 +12,14 @@
 
    Options for the timing pass:
 
-     --json PATH     also write the per-benchmark nanoseconds to PATH
-                     as a machine-readable JSON document
+     --json PATH     also write the per-benchmark nanoseconds and
+                     minor-words to PATH as a machine-readable JSON
+                     document
      --quota SECONDS Bechamel time budget per benchmark (default 1.0;
                      lower it for a quick smoke run)
+     --filter REGEX  only run benchmarks whose name matches REGEX
+                     (unanchored Str syntax, e.g. --filter 'attack\|sweep');
+                     errors out if nothing matches
 
    The sweeps honour [STP_JOBS], so e.g. [STP_JOBS=4 ... -- --micro]
    runs the census benchmark on four domains. *)
@@ -151,25 +155,111 @@ let e11_workload () =
 let e12_workload () =
   ignore (Core.Spec.recoverability (Protocols.Abp.protocol ~domain:2) ~input:[ 0; 1 ] ())
 
-let tests =
+(* The all-pairs sweep, with and without the [Attack.Runstate]
+   transition memo: the same pair list either way, so the delta is
+   exactly the single-run memoisation.  [Attack.search] shares one
+   store per input across all its pairs; the no-memo variant runs each
+   pair with caching disabled — the pre-memoisation engine, which
+   re-simulates (and re-serialises) a run-side successor on every
+   joint expansion that touches it.  A deleting channel with tight
+   send caps gives each pair a closed joint space of a few thousand
+   states, where each single-run state is revisited many times. *)
+let sweep_protocol = lazy (Protocols.Norep.del ~m:3)
+
+let sweep_xs =
+  lazy (List.filter (fun x -> List.length x >= 2) (Seqspace.Norep.enumerate ~m:3))
+
+let sweep_caps = 3
+
+let sweep_pairs =
+  lazy
+    (let rec pairs = function
+       | [] -> []
+       | x :: rest ->
+           List.filter_map
+             (fun y ->
+               if Seqspace.Xset.is_prefix x y || Seqspace.Xset.is_prefix y x then None
+               else Some (x, y))
+             rest
+           @ pairs rest
+     in
+     pairs (Lazy.force sweep_xs))
+
+(* Both arms run the identical [search_pair] loop over the identical
+   pair list; only the stores differ. *)
+let sweep_workload ~memo () =
+  let p = Lazy.force sweep_protocol in
+  let stores = Hashtbl.create 8 in
+  let store x =
+    if memo then (
+      match Hashtbl.find_opt stores x with
+      | Some rs -> rs
+      | None ->
+          let rs = Core.Attack.Runstate.create p ~x in
+          Hashtbl.add stores x rs;
+          rs)
+    else Core.Attack.Runstate.create ~memo:false p ~x
+  in
+  List.iter
+    (fun (x1, x2) ->
+      let runstates = (store x1, store x2) in
+      ignore
+        (Core.Attack.search_pair p ~x1 ~x2 ~depth:200 ~max_sends_per_sender:sweep_caps
+           ~max_sends_per_receiver:sweep_caps ~runstates ()))
+    (Lazy.force sweep_pairs)
+
+let sweep_shared_workload () = sweep_workload ~memo:true ()
+let sweep_nomemo_workload () = sweep_workload ~memo:false ()
+
+(* A codec-layer micro: generate and fingerprint a few thousand states
+   through the emit + intern_bytes hot path, isolated from the attack
+   bookkeeping. *)
+let fingerprint_workload =
+  let p = Protocols.Norep.dup ~m:2 in
+  fun () -> ignore (Kernel.Explore.reachable p ~input:[| 0; 1 |] ~depth:12 ())
+
+let benches =
+  [
+    ("e1_alpha_tightness", e1_workload);
+    ("e2_dup_attack", e2_workload);
+    ("e3_del_attack", e3_workload);
+    ("e4_boundedness", e4_workload);
+    ("e5_weak_boundedness", e5_workload);
+    ("e6_knowledge", e6_workload);
+    ("e7_throughput", e7_workload);
+    ("e8_probabilistic", e8_workload);
+    ("e9_census", e9_workload);
+    ("e10_crossover_cell", e10_workload);
+    ("e11_nested_knowledge", e11_workload);
+    ("e12_recoverability", e12_workload);
+    ("sweep_allpairs_shared", sweep_shared_workload);
+    ("sweep_allpairs_nomemo", sweep_nomemo_workload);
+    ("state_fingerprint_bfs", fingerprint_workload);
+    ("kernel_full_run", sim_step_workload);
+    ("alpha_100", alpha_workload);
+    ("mu_code_build_m5", code_build_workload);
+  ]
+
+(* [--filter] narrows the suite by an unanchored [Str] regexp over the
+   bare benchmark names (the report rows carry the ["stp/"] prefix). *)
+let tests ?filter () =
+  let keep =
+    match filter with
+    | None -> fun _ -> true
+    | Some pat ->
+        let re = Str.regexp pat in
+        fun name ->
+          (try
+             ignore (Str.search_forward re name 0 : int);
+             true
+           with Not_found -> false)
+  in
+  let selected = List.filter (fun (name, _) -> keep name) benches in
+  if selected = [] then
+    failwith
+      (Printf.sprintf "--filter %S matches no benchmark" (Option.value ~default:"" filter));
   Test.make_grouped ~name:"stp"
-    [
-      Test.make ~name:"e1_alpha_tightness" (Staged.stage e1_workload);
-      Test.make ~name:"e2_dup_attack" (Staged.stage e2_workload);
-      Test.make ~name:"e3_del_attack" (Staged.stage e3_workload);
-      Test.make ~name:"e4_boundedness" (Staged.stage e4_workload);
-      Test.make ~name:"e5_weak_boundedness" (Staged.stage e5_workload);
-      Test.make ~name:"e6_knowledge" (Staged.stage e6_workload);
-      Test.make ~name:"e7_throughput" (Staged.stage e7_workload);
-      Test.make ~name:"e8_probabilistic" (Staged.stage e8_workload);
-      Test.make ~name:"e9_census" (Staged.stage e9_workload);
-      Test.make ~name:"e10_crossover_cell" (Staged.stage e10_workload);
-      Test.make ~name:"e11_nested_knowledge" (Staged.stage e11_workload);
-      Test.make ~name:"e12_recoverability" (Staged.stage e12_workload);
-      Test.make ~name:"kernel_full_run" (Staged.stage sim_step_workload);
-      Test.make ~name:"alpha_100" (Staged.stage alpha_workload);
-      Test.make ~name:"mu_code_build_m5" (Staged.stage code_build_workload);
-    ]
+    (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) selected)
 
 (* The timings as the shared report IR (see lib/stdx/report.mli): the
    same schema-versioned artifact the CLI's --json flags produce, so
@@ -183,9 +273,13 @@ let bench_report ~quota rows =
   in
   let t =
     R.table_cols ~title:"time per iteration"
-      [ R.column "benchmark"; R.column ~align:R.Right ~unit_:"ns" "nanos_per_iter" ]
+      [
+        R.column "benchmark";
+        R.column ~align:R.Right ~unit_:"ns" "nanos_per_iter";
+        R.column ~align:R.Right ~unit_:"words" "minor_words_per_iter";
+      ]
   in
-  List.iter (fun (name, ns) -> R.row t [ R.str name; R.float ns ]) rows;
+  List.iter (fun (name, ns, mw) -> R.row t [ R.str name; R.float ns; R.float mw ]) rows;
   R.make ~id:"bench" ~title:"micro-benchmark timings (Bechamel, monotonic clock)"
     [
       R.Metrics
@@ -208,30 +302,37 @@ let write_json path ~quota rows =
   close_out oc;
   Format.printf "wrote %s@." path
 
-let run_micro ?json ~quota () =
+let run_micro ?json ?filter ~quota () =
   Format.printf "=================================================================@.";
-  Format.printf "Micro-benchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "Micro-benchmarks (Bechamel, monotonic clock + minor words)@.";
   Format.printf "=================================================================@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instance = Instance.monotonic_clock in
+  let clock = Instance.monotonic_clock in
+  let minor = Instance.minor_allocated in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ~compaction:false ()
   in
-  let raw = Benchmark.all cfg [ instance ] tests in
-  let results = Analyze.all ols instance raw in
+  let raw = Benchmark.all cfg [ clock; minor ] (tests ?filter ()) in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> nan
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan)
+  in
+  let clock_results = Analyze.all ols clock raw in
+  let minor_results = Analyze.all ols minor raw in
   let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let nanos =
-          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
-        in
-        (name, nanos) :: acc)
-      results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock_results []
+    |> List.sort String.compare
+    |> List.map (fun name -> (name, estimate clock_results name, estimate minor_results name))
   in
   let t =
-    Stdx.Tabular.create ~title:"time per iteration"
-      [ ("benchmark", Stdx.Tabular.Left); ("time", Stdx.Tabular.Right) ]
+    Stdx.Tabular.create ~title:"per iteration"
+      [
+        ("benchmark", Stdx.Tabular.Left);
+        ("time", Stdx.Tabular.Right);
+        ("minor words", Stdx.Tabular.Right);
+      ]
   in
   let pretty ns =
     if Float.is_nan ns then "n/a"
@@ -240,7 +341,15 @@ let run_micro ?json ~quota () =
     else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.0f ns" ns
   in
-  List.iter (fun (name, ns) -> Stdx.Tabular.add_row t [ name; pretty ns ]) rows;
+  let pretty_words w =
+    if Float.is_nan w then "n/a"
+    else if w > 1e6 then Printf.sprintf "%.2fM" (w /. 1e6)
+    else if w > 1e3 then Printf.sprintf "%.1fk" (w /. 1e3)
+    else Printf.sprintf "%.0f" w
+  in
+  List.iter
+    (fun (name, ns, mw) -> Stdx.Tabular.add_row t [ name; pretty ns; pretty_words mw ])
+    rows;
   Stdx.Tabular.print t;
   Option.iter (fun path -> write_json path ~quota rows) json
 
@@ -248,22 +357,25 @@ let () =
   let args = Array.to_list Sys.argv in
   (* Pull out the valued options first; the remaining flags keep the
      original positional-free behaviour. *)
-  let rec split flags json quota = function
-    | [] -> (List.rev flags, json, quota)
-    | "--json" :: path :: rest -> split flags (Some path) quota rest
+  let rec split flags json quota filter = function
+    | [] -> (List.rev flags, json, quota, filter)
+    | "--json" :: path :: rest -> split flags (Some path) quota filter rest
     | "--json" :: [] -> failwith "--json needs a PATH argument"
     | "--quota" :: s :: rest -> (
         match float_of_string_opt s with
-        | Some q when q > 0.0 -> split flags json q rest
+        | Some q when q > 0.0 -> split flags json q filter rest
         | Some _ | None -> failwith "--quota needs a positive number of seconds")
     | "--quota" :: [] -> failwith "--quota needs a SECONDS argument"
-    | a :: rest -> split (a :: flags) json quota rest
+    | "--filter" :: pat :: rest -> split flags json quota (Some pat) rest
+    | "--filter" :: [] -> failwith "--filter needs a REGEX argument"
+    | a :: rest -> split (a :: flags) json quota filter rest
   in
-  let args, json, quota = split [] None 1.0 (List.tl args) in
-  (* Fail on an unwritable --json path now, not after minutes of
-     benchmarking. *)
+  let args, json, quota, filter = split [] None 1.0 None (List.tl args) in
+  (* Fail on an unwritable --json path or an unmatched --filter now,
+     not after minutes of benchmarking. *)
   Option.iter (fun path -> close_out (open_out path)) json;
+  Option.iter (fun f -> ignore (tests ~filter:f () : Test.t)) filter;
   let tables = (not (List.mem "--micro" args)) || List.mem "--tables" args in
   let micro = (not (List.mem "--tables" args)) || List.mem "--micro" args in
   if tables then print_tables ();
-  if micro then run_micro ?json ~quota ()
+  if micro then run_micro ?json ?filter ~quota ()

@@ -216,30 +216,34 @@ let debt t =
   | Del ms -> Multiset.cardinal ms
   | Lag { flight; _ } -> List.length flight
 
+(* Binary body fingerprint: a tag byte for the body form, a count,
+   then the contents as varints.  The count makes each form a prefix
+   code, so the fingerprint is injective per body type; the tag keeps
+   the forms apart.  Built once per distinct body (memoised below) via
+   a throwaway writer — the per-state hot path only blits the memo. *)
 let encode_body body =
-  match body with
+  let c = Stdx.Codec.create ~size:24 () in
+  (match body with
   | Fifo q ->
-      let buf = Buffer.create 16 in
-      Buffer.add_char buf 'F';
-      List.iter (fun m -> Buffer.add_string buf (string_of_int m); Buffer.add_char buf ',') (Deque.to_list q);
-      Buffer.contents buf
+      Stdx.Codec.add_char c 'F';
+      Stdx.Codec.add_varint c (Deque.length q);
+      Deque.fold (fun () m -> Stdx.Codec.add_varint c m) () q
   | Dup s ->
-      let buf = Buffer.create 16 in
-      Buffer.add_char buf 'U';
-      IntSet.iter (fun m -> Buffer.add_string buf (string_of_int m); Buffer.add_char buf ',') s;
-      Buffer.contents buf
-  | Del ms -> "D" ^ Multiset.encode ms
+      Stdx.Codec.add_char c 'U';
+      Stdx.Codec.add_varint c (IntSet.cardinal s);
+      IntSet.iter (fun m -> Stdx.Codec.add_varint c m) s
+  | Del ms ->
+      Stdx.Codec.add_char c 'D';
+      Multiset.emit c ms
   | Lag { flight; _ } ->
-      let buf = Buffer.create 16 in
-      Buffer.add_char buf 'L';
+      Stdx.Codec.add_char c 'L';
+      Stdx.Codec.add_varint c (List.length flight);
       List.iter
-        (fun (m, c) ->
-          Buffer.add_string buf (string_of_int m);
-          Buffer.add_char buf ':';
-          Buffer.add_string buf (string_of_int c);
-          Buffer.add_char buf ',')
-        flight;
-      Buffer.contents buf
+        (fun (m, ov) ->
+          Stdx.Codec.add_varint c m;
+          Stdx.Codec.add_varint c ov)
+        flight);
+  Stdx.Codec.contents c
 
 let encode t =
   match t.enc with
@@ -248,6 +252,18 @@ let encode t =
       let s = encode_body t.body in
       t.enc <- Some s;
       s
+
+let emit c t = Stdx.Codec.add_blob c (encode t)
+
+(* The body fingerprint plus the cumulative counters: everything about
+   the channel that any engine decision reads (deliverable/droppable
+   sets, send-cap totals, debt).  Unlike [emit], two values equal
+   under this key may still differ in their construction history. *)
+let emit_run_key c t =
+  emit c t;
+  Multiset.emit c t.sent;
+  Multiset.emit c t.delivered;
+  Multiset.emit c t.dropped
 
 let pp ppf t =
   match t.body with

@@ -113,7 +113,22 @@ val debt : t -> int
     or the run completed. *)
 
 val encode : t -> string
-(** Canonical key for memo tables.  Two states with equal encodings
-    are observationally identical for every future behaviour. *)
+(** Canonical binary fingerprint of the transition-relevant body
+    (cumulative counters excluded).  Two states with equal encodings
+    are observationally identical for every future behaviour.
+    Memoised per distinct body: computed on first demand, then
+    answered from a cache for the lifetime of the value. *)
+
+val emit : Stdx.Codec.t -> t -> unit
+(** Append the (memoised) fingerprint to a codec as a length-prefixed
+    blob — the {!Kernel.Global.emit} component path; allocates nothing
+    once the memo is warm. *)
+
+val emit_run_key : Stdx.Codec.t -> t -> unit
+(** {!emit} followed by the three cumulative counter multisets — the
+    channel component of {!Kernel.Global.emit_run_key}.  Equal keys
+    mean the channels are interchangeable for every decision the
+    engines make (deliverable/droppable sets, send-cap totals, debt),
+    even when their construction histories differ. *)
 
 val pp : Format.formatter -> t -> unit

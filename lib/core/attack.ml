@@ -26,18 +26,22 @@ type outcome =
   | No_violation of { closed : bool; states_explored : int }
 
 (* Joint states are keyed by pairs of interned ids: each run's global
-   state is hash-consed (by its canonical encoding) into a compact int
-   the moment it is first generated, and every table, queue, and parent
-   pointer in the search works over [(int * int)] keys from then on.
-   The encoding string — which embeds marshalled process states — is
-   built at most once per generated successor, and not at all for the
-   side an [Only1]/[Only2] move leaves untouched (that side inherits
-   the parent's id). *)
+   state is hash-consed (by its canonical binary fingerprint, emitted
+   into a reusable codec buffer) into a compact int the moment it is
+   first generated, and every table, queue, and parent pointer in the
+   search works over [(int * int)] keys from then on.  The fingerprint
+   — which embeds marshalled process states — is hashed at most once
+   per generated successor, never copied for an already-seen state,
+   and not built at all for the side an [Only1]/[Only2] move leaves
+   untouched (that side inherits the parent's id). *)
 type key = int * int
 
 type node = {
   g1 : Global.t;
   g2 : Global.t;
+  rsid1 : int;  (* per-x Runstate ids of [g1]/[g2]: the successor-cache
+                   keys, distinct from the per-pair joint ids *)
+  rsid2 : int;
   parent : (key * joint_move) option;
   node_depth : int;
   mutable edges : (joint_move * key) list;
@@ -46,6 +50,111 @@ type node = {
          reuses it instead of re-running [Sim.apply] over the whole
          closed table a second time. *)
 }
+
+(* A per-input single-run transition store.  Every joint move
+   decomposes into [Sim.apply] calls on one run, and a run's successor
+   under a move depends only on its own state — not on which pair the
+   search happens to be exploring.  So an all-pairs sweep over α(m)
+   inputs can compute each (state, move) successor once per *input*
+   and share it across the α(m)−1 pairs that input participates in,
+   instead of recomputing it per pair.
+
+   Store ids are interned [Global.emit_run_key] keys: the state
+   fingerprint refined with the channel counters and the safety bit —
+   every observable an engine decision reads.  That key is closed
+   under stepping (histories and the clock, the only excluded fields,
+   are write-only accumulators that never feed back into evolution),
+   so memoising on [(parent key id, move)] returns a successor that
+   is behaviourally interchangeable with the one a fresh [Sim.apply]
+   would build, for this pair and every other: joint keys, safety
+   checks, cap checks, and the starvation analysis all read through
+   the key.  Note a plain fingerprint would NOT be a sound memo key —
+   it quotients away the send counters that the cap checks observe.
+   The store is keyed by the input value as well: protocols may close
+   over their input tape (the census families do), so equal keys
+   under different inputs are not interchangeable and stores are
+   never shared across inputs.
+
+   The store is mutex-guarded so the parallel pair sweep can share it
+   across domains; at the default [jobs = 1] the lock is uncontended
+   and costs a few nanoseconds per hit.  Cached [Global.t] values are
+   shared freely: they are persistent, and their lazily-memoised
+   component encodings are write-once with equal values on every
+   writer. *)
+module Runstate = struct
+  type t = {
+    p : Protocol.t;
+    x : int list;
+    intern : Stdx.Intern.t;  (* run-key bytes → dense state id *)
+    scratch : Stdx.Codec.t;
+    succ : (int * Move.t, (Global.t * int) option) Hashtbl.t;
+        (* (parent state id, move) → successor and its id, or None
+           when the simulator rejects the move
+           ([Sim.Model_violation]). *)
+    lock : Mutex.t;
+    g0 : Global.t;
+    memo : bool;
+    mutable hits : int;  (* cache hits — the work the sweep shares *)
+  }
+
+  (* Caller must hold [lock]. *)
+  let sid t g =
+    Stdx.Codec.reset t.scratch;
+    Global.emit_run_key t.scratch g;
+    fst
+      (Stdx.Intern.intern_bytes t.intern (Stdx.Codec.buffer t.scratch) ~pos:0
+         ~len:(Stdx.Codec.length t.scratch))
+
+  let create ?(memo = true) p ~x =
+    let t =
+      {
+        p;
+        x;
+        intern = Stdx.Intern.create ~size:64 ();
+        scratch = Stdx.Codec.create ~size:256 ();
+        succ = Hashtbl.create 64;
+        lock = Mutex.create ();
+        g0 = Global.initial p ~input:(Array.of_list x);
+        memo;
+        hits = 0;
+      }
+    in
+    if memo then ignore (sid t t.g0 : int);
+    t
+
+  let initial t = (t.g0, 0)
+
+  let apply t g id move =
+    if not t.memo then
+      (* The pre-memoisation engine: simulate unconditionally, no
+         table, no lock (nothing is mutated).  Kept for benchmarking
+         the memo's effect; ids are vestigial in this mode. *)
+      match Sim.apply t.p g move with
+      | exception Sim.Model_violation _ -> None
+      | g' -> Some (g', 0)
+    else begin
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          match Hashtbl.find_opt t.succ (id, move) with
+          | Some r ->
+              t.hits <- t.hits + 1;
+              r
+          | None ->
+              let r =
+                match Sim.apply t.p g move with
+                | exception Sim.Model_violation _ -> None
+                | g' -> Some (g', sid t g')
+              in
+              Hashtbl.add t.succ (id, move) r;
+              r)
+    end
+
+  let states t = Stdx.Intern.length t.intern
+
+  let hits t = t.hits
+end
 
 (* Both arguments ascending (the [Chan.deliverable] contract): a
    sorted merge instead of the quadratic [List.mem] scan. *)
@@ -86,11 +195,6 @@ let expansions ~allow_drops ~send_cap ~recv_cap (g1 : Global.t) (g2 : Global.t) 
     wake @ acks @ drops
   in
   sync @ side (fun m -> Only1 m) g1 @ side (fun m -> Only2 m) g2
-
-let apply_joint p (g1 : Global.t) (g2 : Global.t) = function
-  | Sync m -> (Sim.apply p g1 m, Sim.apply p g2 m)
-  | Only1 m -> (Sim.apply p g1 m, g2)
-  | Only2 m -> (g1, Sim.apply p g2 m)
 
 (* Starvation analysis over a *closed* joint graph.
 
@@ -310,18 +414,49 @@ let path_to table key =
 let is_prefix = Xset.is_prefix
 
 let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
-    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) () =
+    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?runstates () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
+  let rs1, rs2 =
+    match runstates with
+    | Some rr -> rr
+    | None -> (Runstate.create p ~x:x1, Runstate.create p ~x:x2)
+  in
+  (* The per-pair joint namespace: ids here number states in the exact
+     order this pair's BFS generates them (the starvation pass's
+     representative choice iterates the table, so the numbering is
+     part of the observable behaviour).  Runstate ids live in a
+     separate per-x namespace and never leak into joint keys. *)
   let intern = Stdx.Intern.create ~size:64 () in
-  let gid g = Stdx.Intern.id intern (Global.encode g) in
+  let scratch = Stdx.Codec.create ~size:256 () in
+  let gid g =
+    Stdx.Codec.reset scratch;
+    Global.emit scratch g;
+    fst
+      (Stdx.Intern.intern_bytes intern (Stdx.Codec.buffer scratch) ~pos:0
+         ~len:(Stdx.Codec.length scratch))
+  in
   let table : (key, node) Hashtbl.t = Hashtbl.create 64 in
   let queue : key Queue.t = Queue.create () in
-  let g1_0 = Global.initial p ~input:(Array.of_list x1) in
-  let g2_0 = Global.initial p ~input:(Array.of_list x2) in
-  let key0 = (gid g1_0, gid g2_0) in
-  Hashtbl.replace table key0 { g1 = g1_0; g2 = g2_0; parent = None; node_depth = 0; edges = [] };
+  let g1_0, rsid1_0 = Runstate.initial rs1 in
+  let g2_0, rsid2_0 = Runstate.initial rs2 in
+  (* Historical id order: the g2 side of a joint key is interned
+     first (the original tuple construction evaluated right to
+     left). *)
+  let b0 = gid g2_0 in
+  let a0 = gid g1_0 in
+  let key0 = (a0, b0) in
+  Hashtbl.replace table key0
+    {
+      g1 = g1_0;
+      g2 = g2_0;
+      rsid1 = rsid1_0;
+      rsid2 = rsid2_0;
+      parent = None;
+      node_depth = 0;
+      edges = [];
+    };
   Queue.push key0 queue;
   let result = ref None in
   let truncated = ref false in
@@ -343,18 +478,41 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
       List.iter
         (fun jm ->
           if !result = None then begin
-            match apply_joint p node.g1 node.g2 jm with
-            | exception Sim.Model_violation _ -> ()
-            | g1', g2' ->
-                (* An [Only1]/[Only2] move leaves the other run's state
-                   physically unchanged: reuse the parent's id for that
-                   side instead of re-encoding it. *)
-                let key' =
-                  match jm with
-                  | Sync _ -> (gid g1', gid g2')
-                  | Only1 _ -> (gid g1', snd key)
-                  | Only2 _ -> (fst key, gid g2')
-                in
+            (* Each side steps through the shared per-x store, so the
+               [Sim.apply] under this (state, move) runs once per input
+               across the whole sweep.  An [Only1]/[Only2] move leaves
+               the other run's state physically unchanged: reuse the
+               parent's ids for that side instead of re-encoding it.
+               A [None] successor is a simulator-rejected move; the
+               joint move is skipped, as the violation used to be. *)
+            let succ =
+              match jm with
+              | Sync m -> (
+                  match Runstate.apply rs2 node.g2 node.rsid2 m with
+                  | None -> None
+                  | Some (g2', r2) -> (
+                      match Runstate.apply rs1 node.g1 node.rsid1 m with
+                      | None -> None
+                      | Some (g1', r1) ->
+                          let b = gid g2' in
+                          let a = gid g1' in
+                          Some (g1', g2', r1, r2, (a, b))))
+              | Only1 m -> (
+                  match Runstate.apply rs1 node.g1 node.rsid1 m with
+                  | None -> None
+                  | Some (g1', r1) ->
+                      let a = gid g1' in
+                      Some (g1', node.g2, r1, node.rsid2, (a, snd key)))
+              | Only2 m -> (
+                  match Runstate.apply rs2 node.g2 node.rsid2 m with
+                  | None -> None
+                  | Some (g2', r2) ->
+                      let b = gid g2' in
+                      Some (node.g1, g2', node.rsid1, r2, (fst key, b)))
+            in
+            match succ with
+            | None -> ()
+            | Some (g1', g2', rsid1, rsid2, key') ->
                 edges := (jm, key') :: !edges;
                 if not (Hashtbl.mem table key') then begin
                   if Hashtbl.length table >= max_states then truncated := true
@@ -363,6 +521,8 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
                       {
                         g1 = g1';
                         g2 = g2';
+                        rsid1;
+                        rsid2;
                         parent = Some (key, jm);
                         node_depth = node.node_depth + 1;
                         edges = [];
@@ -425,7 +585,14 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
   let intern = Stdx.Intern.create ~size:64 () in
-  let gid g = Stdx.Intern.id intern (Global.encode g) in
+  let scratch = Stdx.Codec.create ~size:256 () in
+  let gid g =
+    Stdx.Codec.reset scratch;
+    Global.emit scratch g;
+    fst
+      (Stdx.Intern.intern_bytes intern (Stdx.Codec.buffer scratch) ~pos:0
+         ~len:(Stdx.Codec.length scratch))
+  in
   let table : (int, Global.t * (int * Move.t) option * int) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -496,18 +663,32 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
           rest
         @ pairs rest
   in
-  (* Pairs are independent searches over disjoint tables — the
-     embarrassingly parallel outer loop.  Par.map preserves order, so
+  (* One transition store per distinct input, built up front and
+     shared by every pair that input participates in: the α(m)² sweep
+     computes each single-run (state, move) successor once per input
+     instead of once per pair.  The stores are mutex-guarded, so the
+     pair searches stay embarrassingly parallel — disjoint joint
+     tables, shared read-mostly caches.  Par.map preserves order, so
      the outcome list and the first witness are identical at any job
      count. *)
+  let stores : (int list, Runstate.t) Hashtbl.t = Hashtbl.create 8 in
+  let store x =
+    match Hashtbl.find_opt stores x with
+    | Some rs -> rs
+    | None ->
+        let rs = Runstate.create p ~x in
+        Hashtbl.add stores x rs;
+        rs
+  in
+  let tagged = List.map (fun (x1, x2) -> (x1, x2, store x1, store x2)) (pairs xs) in
   let outcomes =
     Par.map ?jobs
-      (fun (x1, x2) ->
+      (fun (x1, x2, rs1, rs2) ->
         ( x1,
           x2,
           search_pair p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
-            ?max_sends_per_receiver () ))
-      (pairs xs)
+            ?max_sends_per_receiver ~runstates:(rs1, rs2) () ))
+      tagged
   in
   let first_witness =
     List.find_map (function _, _, Witness w -> Some w | _, _, No_violation _ -> None) outcomes

@@ -27,14 +27,18 @@
     fairness.  For protocols meeting the [α(m)] bound the search
     closes with neither — the experimental face of tightness.
 
-    Engine internals: both searches hash-cons every generated global
-    state into a compact int id ({!Stdx.Intern}) and key their tables,
-    queues, and parent pointers on those ids — [(int * int)] pairs for
-    the joint search — so the long canonical encodings are built at
-    most once per generated state and never re-hashed.  The joint BFS
-    additionally caches each node's expansion; the starvation pass
-    consumes the cached graph instead of re-simulating the closed
-    table. *)
+    Engine internals: both searches emit every generated global state
+    into a reusable binary codec buffer ({!Stdx.Codec}) and hash-cons
+    the bytes in place into a compact int id
+    ({!Stdx.Intern.intern_bytes}), keying their tables, queues, and
+    parent pointers on those ids — [(int * int)] pairs for the joint
+    search — so a state's fingerprint is hashed at most once, never
+    re-built for an already-seen state, and never re-compared.  The
+    joint BFS additionally caches each node's expansion; the
+    starvation pass consumes the cached graph instead of
+    re-simulating the closed table.  Single-run transitions are
+    memoised per input in a {!Runstate} store that {!search} shares
+    across all pairs of a sweep. *)
 
 type joint_move =
   | Sync of Kernel.Move.t  (** receiver-visible; applied to both runs *)
@@ -65,6 +69,51 @@ type outcome =
           adversary cannot win.  [closed = false]: search cut off by
           the depth or state budget. *)
 
+(** Per-input memoised single-run transitions.
+
+    A joint move decomposes into [Sim.apply] calls on one run, and a
+    run's successor under a move depends only on that run's state — so
+    an all-pairs sweep can compute each (state, move) successor once
+    per {e input} and share it across every pair the input appears in.
+    Store ids are interned {!Kernel.Global.emit_run_key} keys — the
+    state fingerprint refined with the channel counters and safety
+    bit, which is every observable the searches read and is closed
+    under stepping — so the memo is exact for the search semantics:
+    sharing a store can never change what any search computes, only
+    how often the simulator runs.  A store is tied to one input:
+    protocols may close over their input tape (the census families
+    do), so stores are never shared across inputs.
+
+    Stores are mutex-guarded; sharing one across the domains of a
+    parallel sweep is safe, and at [jobs = 1] the uncontended lock is
+    noise. *)
+module Runstate : sig
+  type t
+
+  val create : ?memo:bool -> Kernel.Protocol.t -> x:int list -> t
+  (** A fresh store for runs of [p] on input [x]; the initial state is
+      interned as id 0.  [memo:false] disables the cache — every
+      {!apply} simulates, reproducing the pre-memoisation engine's
+      cost profile.  A diagnostic/benchmarking knob; the outcome of
+      any search is the same either way. *)
+
+  val initial : t -> Kernel.Global.t * int
+  (** The initial global state and its id (always 0). *)
+
+  val apply :
+    t -> Kernel.Global.t -> int -> Kernel.Move.t -> (Kernel.Global.t * int) option
+  (** [apply t g id move] is the successor of [g] (whose store id is
+      [id]) under [move], with its id — memoised per [(id, move)].
+      [None] when the simulator rejects the move
+      ([Sim.Model_violation]); the rejection is cached too. *)
+
+  val states : t -> int
+  (** Distinct states interned so far. *)
+
+  val hits : t -> int
+  (** Memo hits so far — the [Sim.apply] calls the store saved. *)
+end
+
 val search_pair :
   Kernel.Protocol.t ->
   x1:int list ->
@@ -74,6 +123,7 @@ val search_pair :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?runstates:Runstate.t * Runstate.t ->
   unit ->
   outcome
 (** [search_pair p ~x1 ~x2 ()] explores the joint system.
@@ -86,7 +136,11 @@ val search_pair :
     channels, where the reverse channel's multiset would otherwise
     grow without bound and the joint space would never close.
     Defaults: [depth = 64], [max_states = 200_000], [allow_drops]
-    follows the protocol's channel kind. *)
+    follows the protocol's channel kind.  [runstates] supplies the two
+    runs' transition stores (run 1's first) — pass stores shared with
+    other pairs to reuse their memoised transitions, as {!search}
+    does; when omitted, fresh private stores are created.  Sharing
+    never changes the outcome, only the work. *)
 
 val search_single :
   Kernel.Protocol.t ->
@@ -119,10 +173,13 @@ val search :
     in [xs] where neither is a prefix of the other (prefix pairs
     cannot produce safety witnesses — the shorter input is consistent
     with everything the receiver sees).  Returns all per-pair
-    outcomes and the first witness found, if any.  [jobs] (default:
-    [STP_JOBS] or 1) fans the independent pair searches out over that
-    many domains via {!Par.map}; the outcomes and first witness are
-    identical at every job count. *)
+    outcomes and the first witness found, if any.  One {!Runstate}
+    store per distinct input is shared across all its pairs, so each
+    single-run transition is simulated once per input rather than
+    once per pair.  [jobs] (default: [STP_JOBS] or 1) fans the
+    independent pair searches out over that many domains via
+    {!Par.map}; the stores are safely shared and the outcomes and
+    first witness are identical at every job count. *)
 
 val run_moves : witness -> which:int -> Kernel.Move.t list
 (** Project the joint path onto one run's schedule ([which] ∈ {1,2}) —

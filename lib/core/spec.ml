@@ -24,19 +24,31 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
     | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
     | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
   in
-  (* Forward exploration, remembering each state's successors.  The
-     send caps keep deleting channels finite but also hide behaviours
-     (a retransmitting sender is not really out of copies), so states
-     where the cap filtered a move are marked capped: they and their
-     ancestors must not be declared dead. *)
+  (* Forward exploration, remembering each state's successors.  States
+     are keyed by interned ids of their binary fingerprints (emitted
+     into one reusable codec buffer), so the fingerprint bytes are
+     hashed once per generated state and the graph plumbing below —
+     successor lists, reversed edges, mark queues — is all over ints.
+     The send caps keep deleting channels finite but also hide
+     behaviours (a retransmitting sender is not really out of copies),
+     so states where the cap filtered a move are marked capped: they
+     and their ancestors must not be declared dead. *)
+  let intern = Stdx.Intern.create ~size:4096 () in
+  let scratch = Stdx.Codec.create ~size:256 () in
+  let gid g =
+    Stdx.Codec.reset scratch;
+    Global.emit scratch g;
+    fst
+      (Stdx.Intern.intern_bytes intern (Stdx.Codec.buffer scratch) ~pos:0
+         ~len:(Stdx.Codec.length scratch))
+  in
   let nodes :
-      (string, Global.t * string list * bool (* fully expanded *) * bool (* capped *)) Hashtbl.t
-      =
+      (int, Global.t * int list * bool (* fully expanded *) * bool (* capped *)) Hashtbl.t =
     Hashtbl.create 4096
   in
   let queue = Queue.create () in
   let g0 = Global.initial p ~input:(Array.of_list input) in
-  let key0 = Global.encode g0 in
+  let key0 = gid g0 in
   Hashtbl.replace nodes key0 (g0, [], false, false);
   Queue.push (key0, 0) queue;
   let truncated = ref false in
@@ -55,7 +67,7 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
             end
             else begin
               let g' = Sim.apply p g move in
-              let key' = Global.encode g' in
+              let key' = gid g' in
               if not (Hashtbl.mem nodes key') then begin
                 if Hashtbl.length nodes >= max_states then begin
                   truncated := true;
@@ -78,7 +90,7 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
   (* Backward marking over reversed edges: which states can still
      complete, and which are tainted by a cap (they, or something they
      can reach, had behaviour hidden by the budget). *)
-  let preds : (string, string list) Hashtbl.t = Hashtbl.create 4096 in
+  let preds : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
   Hashtbl.iter
     (fun key (_, succs, _, _) ->
       List.iter

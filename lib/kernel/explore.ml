@@ -11,12 +11,22 @@ let all_moves _g _m = true
 
 let reachable p ~input ~depth ?(move_filter = all_moves) () =
   (* The intern table doubles as the seen-set: a state is new exactly
-     when its encoding gets a fresh id, and the BFS never touches the
-     (long) encoding string again afterwards. *)
+     when its fingerprint gets a fresh id.  Each generated state is
+     emitted into one reusable codec buffer and interned in place —
+     no fingerprint string is ever materialised for a repeat state,
+     and the BFS never touches the (long) fingerprint again
+     afterwards. *)
   let seen = Stdx.Intern.create () in
+  let scratch = Stdx.Codec.create ~size:256 () in
+  let intern g =
+    Stdx.Codec.reset scratch;
+    Global.emit scratch g;
+    Stdx.Intern.intern_bytes seen (Stdx.Codec.buffer scratch) ~pos:0
+      ~len:(Stdx.Codec.length scratch)
+  in
   let queue = Queue.create () in
   let g0 = Global.initial p ~input in
-  ignore (Stdx.Intern.intern seen (Global.encode g0));
+  ignore (intern g0);
   Queue.push (g0, 0) queue;
   let transitions = ref 0 in
   let violations = ref 0 in
@@ -31,7 +41,7 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
           if move_filter g move then begin
             incr transitions;
             let g' = Sim.apply p g move in
-            let _, fresh = Stdx.Intern.intern seen (Global.encode g') in
+            let _, fresh = intern g' in
             if fresh then begin
               if not (Global.safety_ok g') then incr violations;
               if Global.complete g' then incr completes;
@@ -51,7 +61,17 @@ exception Enough
 
 let iter_runs p ~input ~depth ?(move_filter = all_moves) ?max_runs f =
   let emitted = ref 0 in
-  let emit builder =
+  (* Replay the (reversed) move path from the initial state into a
+     fresh trace builder and hand the finished run to [f].  Shared by
+     the two leaf cases below — depth/quiescence stop and dead end —
+     which used to duplicate the rebuild. *)
+  let emit_path path =
+    let builder = Trace.start p ~input in
+    List.iter
+      (fun m ->
+        let g' = Sim.apply p (Trace.current builder) m in
+        Trace.record builder m g')
+      (List.rev path);
     f (Trace.finish builder);
     incr emitted;
     match max_runs with Some m when !emitted >= m -> raise Enough | _ -> ()
@@ -63,26 +83,11 @@ let iter_runs p ~input ~depth ?(move_filter = all_moves) ?max_runs f =
     let stop_here =
       d >= depth || (Global.complete g && Sim.wake_only_complete p g)
     in
-    if stop_here then begin
-      let builder = Trace.start p ~input in
-      List.iter
-        (fun m ->
-          let g' = Sim.apply p (Trace.current builder) m in
-          Trace.record builder m g')
-        (List.rev path);
-      emit builder
-    end
+    if stop_here then emit_path path
     else begin
       let moves = List.filter (move_filter g) (Sim.enabled p g) in
       match moves with
-      | [] ->
-          let builder = Trace.start p ~input in
-          List.iter
-            (fun m ->
-              let g' = Sim.apply p (Trace.current builder) m in
-              Trace.record builder m g')
-            (List.rev path);
-          emit builder
+      | [] -> emit_path path
       | _ -> List.iter (fun m -> go (Sim.apply p g m) (d + 1) (m :: path)) moves
     end
   in

@@ -48,14 +48,42 @@ let write t d =
 
 let complete t = output_length t = Array.length t.input
 
-let encode t =
-  String.concat "|"
-    [
-      Proc.encode t.sender;
-      Proc.encode t.receiver;
-      Chan.encode t.chan_sr;
-      Chan.encode t.chan_rs;
-      string_of_int (output_length t);
-    ]
+(* The hot fingerprint path: every component append is a memo blit
+   (Proc/Chan serialise each distinct value once), so emitting an
+   already-encoded state into the engine's reusable codec allocates
+   nothing. *)
+let emit c t =
+  Proc.emit c t.sender;
+  Proc.emit c t.receiver;
+  Chan.emit c t.chan_sr;
+  Chan.emit c t.chan_rs;
+  Stdx.Codec.add_varint c (output_length t)
 
-let encode_with_r_view t = encode t ^ "|" ^ Hist.encode t.r_hist
+let encode t =
+  let c = Stdx.Codec.create ~size:128 () in
+  emit c t;
+  Stdx.Codec.contents c
+
+let emit_with_r_view c t =
+  emit c t;
+  Hist.emit c t.r_hist
+
+(* Everything a state-space engine's *decisions* can read: the
+   fingerprint plus the channel counters (send caps, debt) and the
+   safety bit.  Histories and the clock are excluded — they are
+   write-only accumulators that never feed back into process or
+   channel evolution — so equal keys certify that stepping either
+   state produces successors that are again equal under this key and
+   indistinguishable to every search. *)
+let emit_run_key c t =
+  Proc.emit c t.sender;
+  Proc.emit c t.receiver;
+  Chan.emit_run_key c t.chan_sr;
+  Chan.emit_run_key c t.chan_rs;
+  Stdx.Codec.add_varint c (output_length t);
+  Stdx.Codec.add_byte c (if t.output_ok then 1 else 0)
+
+let encode_with_r_view t =
+  let c = Stdx.Codec.create ~size:160 () in
+  emit_with_r_view c t;
+  Stdx.Codec.contents c

@@ -44,14 +44,33 @@ val write : t -> int -> t
 val complete : t -> bool
 (** Whether [|Y| = |X|]: every data item has been written. *)
 
+val emit : Stdx.Codec.t -> t -> unit
+(** Append the canonical binary fingerprint of the
+    *transition-relevant* part of the state (process states, channel
+    contents, output length) to a codec.  Histories and cumulative
+    counters are excluded: two states with equal fingerprints generate
+    identical future behaviours.  The engine hot path: component
+    encodings are memoised per distinct value, so emitting into a
+    reusable buffer (then {!Stdx.Intern.intern_bytes}) materialises no
+    fresh string per generated state. *)
+
 val encode : t -> string
-(** Canonical fingerprint of the *transition-relevant* part of the
-    state (process states, channel contents, output length).
-    Histories and cumulative counters are excluded: two states with
-    equal encodings generate identical future behaviours.  Used by the
-    explorer's memo table. *)
+(** [emit] into a throwaway codec, copied out — for callers that want
+    the fingerprint as a standalone string key. *)
+
+val emit_with_r_view : Stdx.Codec.t -> t -> unit
+(** Like {!emit} but additionally distinguishes receiver views —
+    for searches that must not merge states the receiver can tell
+    apart. *)
+
+val emit_run_key : Stdx.Codec.t -> t -> unit
+(** {!emit} refined with the channel counter multisets and the safety
+    bit: the complete set of observables engine decisions read (move
+    enabling, send-cap checks, fairness debt, safety).  Histories and
+    the move clock are excluded — write-only accumulators that never
+    feed back into evolution — so states equal under this key have
+    behaviourally interchangeable futures.  The memo key of
+    {!Core.Attack.Runstate}. *)
 
 val encode_with_r_view : t -> string
-(** Like {!encode} but additionally distinguishes receiver views —
-    used by searches that must not merge states the receiver can tell
-    apart. *)
+(** String form of {!emit_with_r_view}. *)

@@ -30,3 +30,5 @@ let encode (Proc p) =
       let s = p.encode p.state in
       p.enc <- Some s;
       s
+
+let emit c t = Stdx.Codec.add_blob c (encode t)

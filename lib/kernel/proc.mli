@@ -23,4 +23,11 @@ val step : t -> Event.t -> t * Action.t list
 (** Advance the machine by one event. *)
 
 val encode : t -> string
-(** Canonical fingerprint of the current state. *)
+(** Canonical fingerprint of the current state.  Memoised: each
+    distinct process value is serialised at most once, however many
+    global states share it. *)
+
+val emit : Stdx.Codec.t -> t -> unit
+(** Append the (memoised) fingerprint to a codec as a length-prefixed
+    blob — the {!Global.emit} component path; allocation-free once the
+    memo is warm. *)

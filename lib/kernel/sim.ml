@@ -70,12 +70,20 @@ let wake_only_complete (p : Protocol.t) (g : Global.t) =
       (* Quiescent iff waking either process is a no-op. *)
       let after_s = apply p g Move.Wake_sender in
       let after_r = apply p g Move.Wake_receiver in
+      (* [Proc.step] returns the parent process value unchanged on a
+         self-loop, so a quiescent wake leaves the process physically
+         equal — the common case, checked without serialising
+         anything.  Only a state that actually moved falls back to
+         comparing the (memoised) encodings. *)
+      let same_proc (a : Proc.t) (b : Proc.t) =
+        a == b || String.equal (Proc.encode a) (Proc.encode b)
+      in
       let silent (before : Global.t) (after : Global.t) =
         Chan.sent_total after.chan_sr = Chan.sent_total before.chan_sr
         && Chan.sent_total after.chan_rs = Chan.sent_total before.chan_rs
         && Global.output_length after = Global.output_length before
-        && String.equal (Proc.encode after.sender) (Proc.encode before.sender)
-        && String.equal (Proc.encode after.receiver) (Proc.encode before.receiver)
+        && same_proc after.sender before.sender
+        && same_proc after.receiver before.receiver
       in
       silent g after_s && silent g after_r
   | _ -> false

@@ -1,0 +1,79 @@
+type t = { mutable buf : Bytes.t; mutable len : int }
+
+let create ?(size = 64) () = { buf = Bytes.create (max 1 size); len = 0 }
+
+let reset t = t.len <- 0
+
+let length t = t.len
+
+let buffer t = t.buf
+
+let ensure t extra =
+  let need = t.len + extra in
+  let cap = Bytes.length t.buf in
+  if need > cap then begin
+    let cap' = ref (2 * cap) in
+    while need > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let grown = Bytes.create !cap' in
+    Bytes.blit t.buf 0 grown 0 t.len;
+    t.buf <- grown
+  end
+
+let add_char t c =
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len c;
+  t.len <- t.len + 1
+
+let add_byte t b = add_char t (Char.unsafe_chr (b land 0xff))
+
+(* Zigzag folds the sign into the low bit ([0, -1, 1, -2, …] ↦
+   [0, 1, 2, 3, …]); LEB128 then spends one byte per 7 significant
+   bits.  [lsr] in the loop keeps the folded value non-negative, so
+   the loop terminates for every int. *)
+let add_varint t n =
+  let z = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
+  ensure t 10;
+  let continue = ref true in
+  while !continue do
+    if !z land lnot 0x7f = 0 then begin
+      Bytes.unsafe_set t.buf t.len (Char.unsafe_chr !z);
+      t.len <- t.len + 1;
+      continue := false
+    end
+    else begin
+      Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (0x80 lor (!z land 0x7f)));
+      t.len <- t.len + 1;
+      z := !z lsr 7
+    end
+  done
+
+let add_substring t s pos len =
+  ensure t len;
+  Bytes.blit_string s pos t.buf t.len len;
+  t.len <- t.len + len
+
+let add_blob t s =
+  add_varint t (String.length s);
+  add_substring t s 0 (String.length s)
+
+let contents t = Bytes.sub_string t.buf 0 t.len
+
+let varint_at s off =
+  let n = String.length s in
+  let rec go z shift off =
+    if off >= n then invalid_arg "Codec.varint_at: truncated varint"
+    else begin
+      let b = Char.code (String.unsafe_get s off) in
+      let z = z lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then ((z lsr 1) lxor (-(z land 1)), off + 1)
+      else go z (shift + 7) (off + 1)
+    end
+  in
+  go 0 0 off
+
+let blob_at s off =
+  let len, off = varint_at s off in
+  if len < 0 || off + len > String.length s then invalid_arg "Codec.blob_at: truncated blob"
+  else (String.sub s off len, off + len)

@@ -1,0 +1,75 @@
+(** A reusable grow-only binary writer for state fingerprints.
+
+    The state-space engines fingerprint millions of generated states;
+    building each fingerprint as a fresh [string] (the old
+    [Marshal]-and-[String.concat] pipeline) made the encoder the
+    dominant allocator of the whole search.  A [Codec.t] is a single
+    growable [Bytes] buffer the engine owns for the lifetime of a
+    search: each state is emitted into it ([reset] + component [add_*]
+    calls) and then hash-consed directly from the buffer
+    ({!Intern.intern_bytes}), so no intermediate string is ever
+    materialised for an already-seen state.
+
+    The format is self-delimiting and injective by construction:
+    integers are zigzag-LEB128 varints, strings are length-prefixed
+    blobs.  Concatenating the emissions of two equal component
+    sequences yields equal bytes, and of two differing sequences
+    differing bytes — the property the qcheck suite pins against the
+    semantic component-tuple equality. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** Fresh writer with an initial capacity of [size] bytes
+    (default 64).  The buffer grows by doubling and never shrinks. *)
+
+val reset : t -> unit
+(** Forget the contents, keep the capacity — the once-per-state call
+    in the engine hot loops. *)
+
+val length : t -> int
+(** Bytes written since the last [reset]. *)
+
+val buffer : t -> Bytes.t
+(** The underlying buffer; valid on [0, length t).  Borrowed, not
+    copied: it is invalidated by the next [add_*] call that grows the
+    writer.  Intended for {!Intern.intern_bytes}. *)
+
+val add_byte : t -> int -> unit
+(** Append one raw byte (the low 8 bits of the argument). *)
+
+val add_char : t -> char -> unit
+
+val add_varint : t -> int -> unit
+(** Append an integer as a zigzag-LEB128 varint: small magnitudes
+    (of either sign) take one byte, and the encoding is a prefix code
+    — no terminator or length needed. *)
+
+val add_blob : t -> string -> unit
+(** Append a string as a varint length prefix followed by the raw
+    bytes.  Self-delimiting, so mixed [add_blob]/[add_varint]
+    sequences are unambiguous. *)
+
+val add_substring : t -> string -> int -> int -> unit
+(** [add_substring t s pos len] appends raw bytes without a length
+    prefix — for callers that have already emitted their own framing. *)
+
+val contents : t -> string
+(** Copy out the written bytes as a fresh string.  Only for
+    compatibility paths ({!Kernel.Global.encode}); the engines use
+    [buffer]/[length] instead. *)
+
+(** {2 Readers}
+
+    Decoding is only needed by tests and the bench/perf tooling; the
+    engines treat fingerprints as opaque.  Offsets index into a
+    string produced by [contents]. *)
+
+val varint_at : string -> int -> int * int
+(** [varint_at s off] decodes the varint at [off]; returns
+    [(value, next_offset)].
+    @raise Invalid_argument on a truncated varint. *)
+
+val blob_at : string -> int -> string * int
+(** Decode a length-prefixed blob; returns [(blob, next_offset)].
+    @raise Invalid_argument on a truncated blob. *)

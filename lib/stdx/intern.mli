@@ -1,20 +1,27 @@
-(** Hash-consing of string fingerprints into compact integer ids.
+(** Hash-consing of state fingerprints into compact integer ids.
 
     The state-space engines key their tables and queues on canonical
-    string encodings ({!Kernel.Global.encode} and friends).  Those
-    strings are long — they embed marshalled process states — so using
-    them directly as hash keys means every lookup re-hashes the whole
+    encodings ({!Kernel.Global.emit} and friends).  Those fingerprints
+    are long — they embed marshalled process states — so using them
+    directly as hash keys means every lookup re-hashes the whole
     fingerprint and every comparison walks it.  An [Intern.t] assigns
-    each distinct string a dense id ([0, 1, 2, …] in first-seen
+    each distinct fingerprint a dense id ([0, 1, 2, …] in first-seen
     order); the searches then work over ints (or pairs of ints for
-    joint states), touching the string exactly once per distinct
-    state.
+    joint states), touching the fingerprint bytes exactly once per
+    distinct state.
+
+    The hot entry point is {!intern_bytes}: the engine emits each
+    generated state into a reusable {!Codec} buffer and interns the
+    byte range in place — an already-seen state (the common case in a
+    saturating BFS) costs one hash and one compare with no allocation;
+    only a genuinely fresh state copies the range out to a stored
+    string.
 
     Ids are stable for the lifetime of the table: interning the same
-    string twice returns the same id, and [name] recovers the string
-    (the round-trip the unit tests pin down).  A table is not
+    fingerprint twice returns the same id, and [name] recovers the
+    string (the round-trip the unit tests pin down).  A table is not
     thread-safe; the parallel sweeps in {!Core.Par} keep one table per
-    task. *)
+    task (or guard a shared one, as {!Core.Attack.Runstate} does). *)
 
 type t
 
@@ -27,6 +34,15 @@ val intern : t -> string -> int * bool
     next dense id when [s] is new ([fresh = true]).  The single-lookup
     combination of membership test and id allocation the BFS loops
     want. *)
+
+val intern_bytes : t -> Bytes.t -> pos:int -> len:int -> int * bool
+(** [intern_bytes t b ~pos ~len] interns the byte range
+    [b[pos, pos+len)] — typically [Codec.buffer c, 0, Codec.length c]
+    right after emitting a state.  Equivalent to
+    [intern t (Bytes.sub_string b pos len)] but allocates nothing when
+    the range was already interned.  The range is only read; the table
+    keeps its own copy on a fresh insert.
+    @raise Invalid_argument if the range exceeds [b]. *)
 
 val id : t -> string -> int
 (** [id t s = fst (intern t s)]. *)

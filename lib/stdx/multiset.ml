@@ -47,6 +47,17 @@ let encode t =
   IntMap.iter (fun x n -> Buffer.add_string buf (Printf.sprintf "%d:%d;" x n)) t;
   Buffer.contents buf
 
+(* Binary form: distinct-count header, then (element, multiplicity)
+   varint pairs in ascending element order — canonical because the map
+   iterates in key order and multiplicities are always positive. *)
+let emit c t =
+  Codec.add_varint c (IntMap.cardinal t);
+  IntMap.iter
+    (fun x n ->
+      Codec.add_varint c x;
+      Codec.add_varint c n)
+    t
+
 let pp ppf t =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list

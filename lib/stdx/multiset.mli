@@ -57,4 +57,9 @@ val encode : t -> string
 (** Canonical compact encoding, used as a hash-consing key by the
     explorer's memo table. *)
 
+val emit : Codec.t -> t -> unit
+(** Append the canonical binary form (distinct-count header, then
+    ascending [(element, multiplicity)] varint pairs) — the
+    {!Channel.Chan} fingerprint path. *)
+
 val pp : Format.formatter -> t -> unit

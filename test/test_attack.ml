@@ -275,6 +275,45 @@ let test_search_jobs_equivalence () =
   check Alcotest.bool "first witness identical" true
     (Option.map (fun w -> w.Attack.kind) w1 = Option.map (fun w -> w.Attack.kind) w4)
 
+let test_runstate_sharing_invariant () =
+  (* Private stores, stores shared across pairs, and disabled memo
+     must all produce identical outcomes — sharing changes only the
+     work.  The shared stores must actually be reused (hits from more
+     than one pair land in the same store). *)
+  let p = Protocols.Norep.del ~m:2 in
+  let caps = 3 in
+  let pairs = [ ([ 0; 1 ], [ 1; 0 ]); ([ 0; 1 ], [ 1 ]); ([ 1; 0 ], [ 0 ]) ] in
+  let search ?runstates (x1, x2) =
+    Attack.search_pair p ~x1 ~x2 ~depth:200 ~max_sends_per_sender:caps
+      ~max_sends_per_receiver:caps ?runstates ()
+  in
+  let stores = Hashtbl.create 4 in
+  let store ?memo x =
+    match Hashtbl.find_opt stores x with
+    | Some rs -> rs
+    | None ->
+        let rs = Attack.Runstate.create ?memo p ~x in
+        Hashtbl.add stores x rs;
+        rs
+  in
+  List.iter
+    (fun ((x1, x2) as pair) ->
+      let private_ = search pair in
+      let shared = search ~runstates:(store x1, store x2) pair in
+      let nomemo =
+        search
+          ~runstates:
+            ( Attack.Runstate.create ~memo:false p ~x:x1,
+              Attack.Runstate.create ~memo:false p ~x:x2 )
+          pair
+      in
+      check Alcotest.bool "shared = private" true (shared = private_);
+      check Alcotest.bool "nomemo = private" true (nomemo = private_))
+    pairs;
+  let rs01 = store [ 0; 1 ] in
+  check Alcotest.bool "shared store interned states" true (Attack.Runstate.states rs01 > 1);
+  check Alcotest.bool "shared store was hit" true (Attack.Runstate.hits rs01 > 0)
+
 let () =
   Alcotest.run "attack"
     [
@@ -307,6 +346,7 @@ let () =
           Alcotest.test_case "e3 del attack" `Quick test_e3_baseline;
           Alcotest.test_case "e10 crossover cell" `Quick test_e10_baseline;
           Alcotest.test_case "jobs-invariant sweep" `Quick test_search_jobs_equivalence;
+          Alcotest.test_case "runstate sharing invariant" `Quick test_runstate_sharing_invariant;
         ] );
       ( "search controls",
         [

@@ -194,6 +194,23 @@ let test_encode_distinguishes_contents () =
   let d = Chan.send (Chan.send (Chan.create Chan.Perfect) 2) 1 in
   check Alcotest.bool "fifo order matters" true (Chan.encode c <> Chan.encode d)
 
+let test_run_key_refines_encode () =
+  (* send-then-drop returns a del channel to an empty body — the
+     fingerprint coincides with a fresh channel's — but the cumulative
+     counters differ, so the run key (the Runstate memo key) must
+     distinguish them. *)
+  let fresh = Chan.create Chan.Reorder_del in
+  let spent = drop_exn (Chan.send fresh 1) 1 in
+  let key emit c =
+    let b = Stdx.Codec.create () in
+    emit b c;
+    Stdx.Codec.contents b
+  in
+  check Alcotest.string "fingerprints coincide" (Chan.encode fresh) (Chan.encode spent);
+  check Alcotest.string "emit matches encode framing" (key Chan.emit fresh) (key Chan.emit spent);
+  check Alcotest.bool "run keys differ" true
+    (key Chan.emit_run_key fresh <> key Chan.emit_run_key spent)
+
 let prop_del_conservation =
   QCheck.Test.make ~name:"del channel: delivered+dropped+in-flight = sent"
     QCheck.(list (pair (int_range 0 3) bool))
@@ -336,5 +353,6 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "encode ignores counters" `Quick test_encode_transition_relevant_only;
           Alcotest.test_case "encode sees contents" `Quick test_encode_distinguishes_contents;
+          Alcotest.test_case "run key refines encode" `Quick test_run_key_refines_encode;
         ] );
     ]

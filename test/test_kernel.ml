@@ -400,6 +400,56 @@ let test_explore_no_drops_filter () =
         (Trace.moves trace));
   check Alcotest.bool "filter removes drops" false !saw_drop
 
+let test_explore_dead_end_emitted () =
+  (* A move filter that refuses everything makes the initial state a
+     dead end: the enumeration must still emit that (empty) run rather
+     than silently produce nothing. *)
+  let p = tiny Chan.Perfect in
+  let traces = ref [] in
+  Explore.iter_runs p ~input:[| 1 |] ~depth:5
+    ~move_filter:(fun _ _ -> false)
+    (fun t -> traces := t :: !traces);
+  match !traces with
+  | [ t ] -> check Alcotest.int "empty run" 0 (Trace.length t)
+  | ts -> Alcotest.failf "expected exactly one dead-end trace, got %d" (List.length ts)
+
+(* The binary fingerprint must behave exactly like semantic equality
+   of the fingerprinted components on states the engine visits: equal
+   bytes iff equal (sender, receiver, channel bodies, output length).
+   This is the injectivity/self-delimitation property the codec-based
+   state tables rely on. *)
+let prop_global_fingerprint_iff_components =
+  QCheck.Test.make ~name:"Global fingerprint equality iff component equality" ~count:60
+    QCheck.(pair small_int (int_range 5 40))
+    (fun (seed, steps) ->
+      let p = Protocols.Norep.del ~m:2 in
+      let rng = Stdx.Rng.create seed in
+      let g = ref (Global.initial p ~input:[| 0; 1 |]) in
+      let states = ref [ !g ] in
+      (try
+         for _ = 1 to steps do
+           match Sim.enabled p !g with
+           | [] -> raise Exit
+           | moves ->
+               let m = List.nth moves (Stdx.Rng.int rng (List.length moves)) in
+               g := Sim.apply p !g m;
+               states := !g :: !states
+         done
+       with Exit -> ());
+      let comps (g : Global.t) =
+        ( Proc.encode g.Global.sender,
+          Proc.encode g.Global.receiver,
+          Chan.encode g.Global.chan_sr,
+          Chan.encode g.Global.chan_rs,
+          Global.output_length g )
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> String.equal (Global.encode a) (Global.encode b) = (comps a = comps b))
+            !states)
+        !states)
+
 let () =
   Alcotest.run "kernel"
     [
@@ -451,5 +501,7 @@ let () =
           Alcotest.test_case "iter_runs" `Quick test_explore_iter_runs_counts;
           Alcotest.test_case "max_runs cap" `Quick test_explore_max_runs;
           Alcotest.test_case "no_drops filter" `Quick test_explore_no_drops_filter;
+          Alcotest.test_case "dead end emitted" `Quick test_explore_dead_end_emitted;
+          qtest prop_global_fingerprint_iff_components;
         ] );
     ]

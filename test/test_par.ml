@@ -66,6 +66,29 @@ let test_bounds_jobs_invariant () =
   in
   check Alcotest.bool "measurements identical" true (m 1 = m 4)
 
+let test_attack_jobs_invariant () =
+  (* The all-pairs attack sweep shares one Runstate store per input
+     across domains; outcomes, witness, and the rendered report must
+     be bit-identical at every job count. *)
+  let p = Protocols.Norep.del ~m:2 in
+  let xs = Seqspace.Norep.enumerate ~m:2 in
+  let run jobs =
+    Core.Attack.search p ~xs ~depth:200 ~max_sends_per_sender:3 ~max_sends_per_receiver:3 ~jobs
+      ()
+  in
+  let render (outcomes, w) =
+    Stdx.Json.to_string (Stdx.Report.to_json (Core.Attack.search_report outcomes w))
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      check Alcotest.bool (Printf.sprintf "outcomes identical at jobs=%d" jobs) true (r1 = r);
+      check Alcotest.string
+        (Printf.sprintf "rendered report identical at jobs=%d" jobs)
+        (render r1) (render r))
+    [ 2; 4; 7 ]
+
 let () =
   Alcotest.run "par"
     [
@@ -83,5 +106,6 @@ let () =
           Alcotest.test_case "census" `Quick test_census_jobs_invariant;
           Alcotest.test_case "proba" `Quick test_proba_jobs_invariant;
           Alcotest.test_case "bounds" `Quick test_bounds_jobs_invariant;
+          Alcotest.test_case "attack sweep" `Quick test_attack_jobs_invariant;
         ] );
     ]

@@ -7,6 +7,7 @@ module Deque = Stdx.Deque
 module Stats = Stdx.Stats
 module Tabular = Stdx.Tabular
 module Intern = Stdx.Intern
+module Codec = Stdx.Codec
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -292,6 +293,132 @@ let test_tabular_cells () =
   check Alcotest.string "float" "3.14" (Tabular.cell_float ~decimals:2 3.14159);
   check Alcotest.string "bool" "yes" (Tabular.cell_bool true)
 
+(* ------------------------- Codec ------------------------- *)
+
+let test_codec_varint_known () =
+  (* One-byte zigzag range and the extremes. *)
+  List.iter
+    (fun n ->
+      let c = Codec.create ~size:1 () in
+      Codec.add_varint c n;
+      let v, off = Codec.varint_at (Codec.contents c) 0 in
+      check Alcotest.int (Printf.sprintf "varint %d" n) n v;
+      check Alcotest.int "consumed whole encoding" (Codec.length c) off)
+    [ 0; -1; 1; -64; 63; -65; 64; 1000; -1000; max_int; min_int ]
+
+let test_codec_varint_width () =
+  let width n =
+    let c = Codec.create () in
+    Codec.add_varint c n;
+    Codec.length c
+  in
+  check Alcotest.int "0 is one byte" 1 (width 0);
+  check Alcotest.int "63 is one byte" 1 (width 63);
+  check Alcotest.int "-64 is one byte" 1 (width (-64));
+  check Alcotest.int "64 is two bytes" 2 (width 64)
+
+let test_codec_blob_mixed () =
+  let c = Codec.create ~size:1 () in
+  Codec.add_varint c 7;
+  Codec.add_blob c "hello";
+  Codec.add_blob c "";
+  Codec.add_varint c (-3);
+  let s = Codec.contents c in
+  let v1, off = Codec.varint_at s 0 in
+  let b1, off = Codec.blob_at s off in
+  let b2, off = Codec.blob_at s off in
+  let v2, off = Codec.varint_at s off in
+  check Alcotest.int "leading varint" 7 v1;
+  check Alcotest.string "blob" "hello" b1;
+  check Alcotest.string "empty blob" "" b2;
+  check Alcotest.int "trailing varint" (-3) v2;
+  check Alcotest.int "stream fully consumed" (String.length s) off
+
+let test_codec_reset () =
+  let c = Codec.create ~size:1 () in
+  Codec.add_blob c "some bytes";
+  Codec.reset c;
+  check Alcotest.int "reset clears length" 0 (Codec.length c);
+  check Alcotest.string "reset clears contents" "" (Codec.contents c);
+  Codec.add_varint c 5;
+  check Alcotest.(pair int int) "writes restart at 0" (5, 1)
+    (Codec.varint_at (Codec.contents c) 0)
+
+let test_codec_truncation () =
+  let c = Codec.create () in
+  Codec.add_varint c 1_000_000;
+  let s = Codec.contents c in
+  Alcotest.check_raises "truncated varint"
+    (Invalid_argument "Codec.varint_at: truncated varint") (fun () ->
+      ignore (Codec.varint_at (String.sub s 0 (String.length s - 1)) 0));
+  let c = Codec.create () in
+  Codec.add_blob c "abcdef";
+  let s = Codec.contents c in
+  Alcotest.check_raises "truncated blob" (Invalid_argument "Codec.blob_at: truncated blob")
+    (fun () -> ignore (Codec.blob_at (String.sub s 0 3) 0))
+
+let prop_codec_varint_roundtrip =
+  QCheck.Test.make ~name:"Codec varint sequences round-trip"
+    QCheck.(small_list int)
+    (fun ns ->
+      let c = Codec.create ~size:1 () in
+      List.iter (Codec.add_varint c) ns;
+      let s = Codec.contents c in
+      let decoded, off =
+        List.fold_left
+          (fun (acc, off) _ ->
+            let v, off = Codec.varint_at s off in
+            (v :: acc, off))
+          ([], 0) ns
+      in
+      List.rev decoded = ns && off = String.length s)
+
+let prop_codec_blob_roundtrip =
+  QCheck.Test.make ~name:"Codec blob sequences round-trip"
+    QCheck.(small_list small_string)
+    (fun ss ->
+      let c = Codec.create ~size:1 () in
+      List.iter (Codec.add_blob c) ss;
+      let s = Codec.contents c in
+      let decoded, off =
+        List.fold_left
+          (fun (acc, off) _ ->
+            let b, off = Codec.blob_at s off in
+            (b :: acc, off))
+          ([], 0) ss
+      in
+      List.rev decoded = ss && off = String.length s)
+
+(* Emitting a component sequence and interning the buffer in place
+   must agree exactly with interning the copied-out string — the
+   engines rely on [intern_bytes] never seeing different bytes than
+   [contents] would produce. *)
+let prop_codec_intern_bytes_agrees =
+  QCheck.Test.make ~name:"Intern.intern_bytes agrees with intern on codec contents"
+    QCheck.(small_list (small_list small_string))
+    (fun states ->
+      let by_string = Intern.create () and by_bytes = Intern.create () in
+      let c = Codec.create ~size:1 () in
+      List.for_all
+        (fun components ->
+          Codec.reset c;
+          List.iter (Codec.add_blob c) components;
+          let id_s, fresh_s = Intern.intern by_string (Codec.contents c) in
+          let id_b, fresh_b =
+            Intern.intern_bytes by_bytes (Codec.buffer c) ~pos:0 ~len:(Codec.length c)
+          in
+          id_s = id_b && fresh_s = fresh_b)
+        states
+      && Intern.length by_string = Intern.length by_bytes)
+
+let test_intern_bytes_slice () =
+  let t = Intern.create () in
+  let b = Bytes.of_string "xxhelloyy" in
+  let id, fresh = Intern.intern_bytes t b ~pos:2 ~len:5 in
+  check Alcotest.(pair int bool) "slice interned fresh" (0, true) (id, fresh);
+  check Alcotest.(pair int bool) "same slice via string" (0, false) (Intern.intern t "hello");
+  check Alcotest.string "name is the slice" "hello" (Intern.name t 0)
+
 (* ------------------------- Intern ------------------------- *)
 
 let test_intern_ids_dense () =
@@ -391,11 +518,23 @@ let () =
           Alcotest.test_case "arity" `Quick test_tabular_arity;
           Alcotest.test_case "cells" `Quick test_tabular_cells;
         ] );
+      ( "codec",
+        [
+          Alcotest.test_case "varint known values" `Quick test_codec_varint_known;
+          Alcotest.test_case "varint widths" `Quick test_codec_varint_width;
+          Alcotest.test_case "mixed blob/varint stream" `Quick test_codec_blob_mixed;
+          Alcotest.test_case "reset" `Quick test_codec_reset;
+          Alcotest.test_case "truncation errors" `Quick test_codec_truncation;
+          qtest prop_codec_varint_roundtrip;
+          qtest prop_codec_blob_roundtrip;
+        ] );
       ( "intern",
         [
           Alcotest.test_case "dense stable ids" `Quick test_intern_ids_dense;
           Alcotest.test_case "fresh flag" `Quick test_intern_fresh_flag;
           Alcotest.test_case "round-trip and growth" `Quick test_intern_roundtrip;
+          Alcotest.test_case "intern_bytes slice" `Quick test_intern_bytes_slice;
           qtest prop_intern_bijective;
+          qtest prop_codec_intern_bytes_agrees;
         ] );
     ]
