@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test report-schema bench bench-smoke bench-artifact perf-gate clean
+.PHONY: all verify test report-schema soak-smoke bench bench-smoke bench-artifact perf-gate clean
 
 all:
 	dune build
@@ -11,6 +11,7 @@ verify:
 	dune build
 	dune runtest
 	$(MAKE) report-schema
+	$(MAKE) soak-smoke
 
 # The report-schema gate, standalone: produce --json artifacts from
 # the CLI and validate them against the versioned report schema.
@@ -18,8 +19,17 @@ report-schema:
 	dune build bin/stp_cli.exe
 	_build/default/bin/stp_cli.exe experiments --quick --only E1 --json _build/stp_exp.json > /dev/null
 	_build/default/bin/stp_cli.exe attack -p norep -d 2 --json _build/stp_attack.json > /dev/null
+	_build/default/bin/stp_cli.exe soak --seed 5 --random-plans 1 --json _build/stp_soak.json > /dev/null
 	_build/default/bin/stp_cli.exe validate _build/stp_exp.json
 	_build/default/bin/stp_cli.exe validate _build/stp_attack.json
+	_build/default/bin/stp_cli.exe validate _build/stp_soak.json
+
+# A tiny fault-injection battery: run it, validate its artifact, and
+# require the scripted scenarios to have produced recovery verdicts.
+soak-smoke:
+	dune build bin/stp_cli.exe
+	_build/default/bin/stp_cli.exe soak --seed 5 --random-plans 1 --json _build/stp_soak_smoke.json
+	_build/default/bin/stp_cli.exe validate _build/stp_soak_smoke.json
 
 test: verify
 

@@ -218,6 +218,14 @@ let fingerprint_workload =
   let p = Protocols.Norep.dup ~m:2 in
   fun () -> ignore (Kernel.Explore.reachable p ~input:[| 0; 1 |] ~depth:12 ())
 
+(* The fault-injection pipeline end to end: battery construction,
+   per-case split-RNG runs, recovery verdicts, report folding.
+   Sequential (jobs=1) so the number isolates the engine, not the
+   domain pool. *)
+let soak_workload =
+  let cases = lazy (Faults.Soak.default_battery ~random_plans:1 ~seed:5 ()) in
+  fun () -> ignore (Faults.Soak.run ~jobs:1 ~seed:5 (Lazy.force cases))
+
 let benches =
   [
     ("e1_alpha_tightness", e1_workload);
@@ -232,6 +240,7 @@ let benches =
     ("e10_crossover_cell", e10_workload);
     ("e11_nested_knowledge", e11_workload);
     ("e12_recoverability", e12_workload);
+    ("soak_battery", soak_workload);
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);
     ("state_fingerprint_bfs", fingerprint_workload);

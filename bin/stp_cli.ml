@@ -9,8 +9,10 @@
      verify       batch-verify a protocol over its allowable set
      recover      dead-state (Property 2) analysis
      census       sample random protocols at m=1 (E9)
-     experiments  run the E1-E12 reproduction experiments
+     experiments  run the E1-E13 reproduction experiments
+     soak         fault-injection soak battery with recovery verdicts
      validate     check a --json artifact against the report schema
+                  (exits non-zero when any report carries ok=false)
 
    Protocols and experiments are resolved through {!Kernel.Registry}
    (each module registers itself at load time), and channel kinds
@@ -496,8 +498,51 @@ let experiments_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the E1-E12 reproduction experiments.")
+    (Cmd.info "experiments" ~doc:"Run the E1-E13 reproduction experiments.")
     Term.(ret (const experiments_run $ quick $ only $ format_arg $ json_arg))
+
+(* ---------------- soak ---------------- *)
+
+let soak_run seed jobs random_plans max_seconds format json =
+  let cases = Faults.Soak.default_battery ~random_plans ~seed () in
+  let r = Faults.Soak.run ~jobs ?max_seconds ~seed cases in
+  match maybe_json r json with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+      (match format with
+      | `Text -> print_string (Report.to_text r)
+      | `Json ->
+          print_string (Stdx.Json.to_string (Report.to_json r));
+          print_newline ()
+      | `Csv -> print_string (Report.to_csv r));
+      if r.Report.ok = Some true then `Ok ()
+      else `Error (false, "soak battery was truncated before completing")
+
+let soak_cmd =
+  let random_plans =
+    Arg.(
+      value & opt int 4
+      & info [ "random-plans" ] ~doc:"Seeded random fault plans per protocol.")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ]
+          ~doc:
+            "Wall-clock budget; when exhausted the remaining cases are skipped and the report \
+             carries a truncation note (and exits non-zero).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run the fault-injection soak battery: scripted and random fault plans over the \
+          registered protocols, with per-run recovery verdicts.  Bit-identical at every \
+          --jobs count.")
+    Term.(
+      ret
+        (const soak_run $ seed_arg $ jobs_arg $ random_plans $ max_seconds $ format_arg
+       $ json_arg))
 
 (* ---------------- validate ---------------- *)
 
@@ -506,10 +551,27 @@ let validate_run path =
   | exception Sys_error e -> `Error (false, e)
   | contents -> (
       match Report.validate_artifact contents with
-      | Ok n ->
-          Format.printf "%s: valid report artifact, %d report(s), schema version %d@." path n
-            Report.schema_version;
-          `Ok ()
+      | Ok n -> (
+          (* Schema-valid; now surface the verdict envelope: an
+             artifact recording a failure must fail the pipeline. *)
+          let failed =
+            match Result.bind (Stdx.Json.parse contents) Report.set_of_json with
+            | Ok reports ->
+                List.filter_map
+                  (fun r -> if r.Report.ok = Some false then Some r.Report.id else None)
+                  reports
+            | Error _ -> []
+          in
+          match failed with
+          | [] ->
+              Format.printf "%s: valid report artifact, %d report(s), schema version %d@." path
+                n Report.schema_version;
+              `Ok ()
+          | ids ->
+              `Error
+                ( false,
+                  Printf.sprintf "%s: schema-valid, but report(s) carry ok=false: %s" path
+                    (String.concat ", " ids) ))
       | Error e -> `Error (false, Printf.sprintf "%s: invalid artifact: %s" path e))
 
 let validate_cmd =
@@ -535,5 +597,6 @@ let () =
             recover_cmd;
             census_cmd;
             experiments_cmd;
+            soak_cmd;
             validate_cmd;
           ]))

@@ -319,7 +319,7 @@ module Starved = struct
     let is_drop = function
       | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> true
       | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _
-      | Move.Deliver_to_sender _ ->
+      | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
           false
     in
     let is_drop_jm = function Sync m | Only1 m | Only2 m -> is_drop m in
@@ -413,11 +413,23 @@ let path_to table key =
 
 let is_prefix = Xset.is_prefix
 
+(* Wall-clock resource guard shared by the two searches: a [None]
+   budget never fires; an exceeded budget truncates the search exactly
+   like the state budget does ([closed = false]), so callers get a
+   partial outcome instead of an open-ended run. *)
+let make_deadline = function
+  | None -> fun () -> false
+  | Some seconds ->
+      let d = Sys.time () +. seconds in
+      fun () -> Sys.time () > d
+
 let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
-    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?runstates () =
+    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds
+    ?runstates () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
+  let over_deadline = make_deadline max_seconds in
   let rs1, rs2 =
     match runstates with
     | Some rr -> rr
@@ -470,6 +482,11 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
   in
   check_safety key0 (Hashtbl.find table key0);
   while (not (Queue.is_empty queue)) && !result = None do
+    if over_deadline () then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
     let key = Queue.pop queue in
     let node = Hashtbl.find table key in
     if node.node_depth >= depth then truncated := true
@@ -538,6 +555,7 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
            ~recv_cap:max_sends_per_receiver node.g1 node.g2);
       node.edges <- List.rev !edges
     end
+    end
   done;
   let states_explored = Hashtbl.length table in
   match !result with
@@ -580,10 +598,11 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
       end
 
 let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?allow_drops
-    ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) () =
+    ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
+  let over_deadline = make_deadline max_seconds in
   let intern = Stdx.Intern.create ~size:64 () in
   let scratch = Stdx.Codec.create ~size:256 () in
   let gid g =
@@ -604,6 +623,11 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
   let result = ref None in
   let truncated = ref false in
   while (not (Queue.is_empty queue)) && !result = None do
+    if over_deadline () then begin
+      truncated := true;
+      Queue.clear queue
+    end
+    else begin
     let key = Queue.pop queue in
     let g, _, d = Hashtbl.find table key in
     if d >= depth then truncated := true
@@ -617,6 +641,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
               | Move.Wake_receiver -> Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
               | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
               | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
+              | Move.Restart_sender | Move.Restart_receiver -> false
             in
             if keep then begin
               let g' = Sim.apply p g move in
@@ -632,6 +657,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
             end
           end)
         (Sim.enabled p g)
+    end
   done;
   let states_explored = Hashtbl.length table in
   match !result with
@@ -654,7 +680,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
   | None -> No_violation { closed = not !truncated; states_explored }
 
 let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
-    ?max_sends_per_receiver ?jobs () =
+    ?max_sends_per_receiver ?max_seconds ?jobs () =
   let rec pairs = function
     | [] -> []
     | x :: rest ->
@@ -687,7 +713,7 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
         ( x1,
           x2,
           search_pair p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
-            ?max_sends_per_receiver ~runstates:(rs1, rs2) () ))
+            ?max_sends_per_receiver ?max_seconds ~runstates:(rs1, rs2) () ))
       tagged
   in
   let first_witness =

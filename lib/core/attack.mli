@@ -123,6 +123,7 @@ val search_pair :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?max_seconds:float ->
   ?runstates:Runstate.t * Runstate.t ->
   unit ->
   outcome
@@ -136,7 +137,11 @@ val search_pair :
     channels, where the reverse channel's multiset would otherwise
     grow without bound and the joint space would never close.
     Defaults: [depth = 64], [max_states = 200_000], [allow_drops]
-    follows the protocol's channel kind.  [runstates] supplies the two
+    follows the protocol's channel kind.  [max_seconds] adds a
+    CPU-time guard: an exceeded budget truncates the search
+    ([closed = false]) like the state budget does, so a partial
+    outcome comes back instead of an open-ended run.  [runstates]
+    supplies the two
     runs' transition stores (run 1's first) — pass stores shared with
     other pairs to reuse their memoised transitions, as {!search}
     does; when omitted, fresh private stores are created.  Sharing
@@ -150,6 +155,7 @@ val search_single :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?max_seconds:float ->
   unit ->
   outcome
 (** Single-run safety search: BFS over *one* run's full adversary
@@ -166,6 +172,7 @@ val search :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?max_seconds:float ->
   ?jobs:int ->
   unit ->
   (int list * int list * outcome) list * witness option

@@ -9,6 +9,7 @@ type t = {
   messages : int;
   first_violation : int option;
   completed_at : int option;
+  recovered : bool option;
 }
 
 let of_result (r : Runner.result) =
@@ -22,33 +23,57 @@ let of_result (r : Runner.result) =
     messages = Trace.messages_sent trace;
     first_violation = violation;
     completed_at = Trace.completed_at trace;
+    recovered = None;
   }
 
 let all_good t = t.safe && t.complete
+
+(* Recovery (the §5 notion made executable): the run is back to
+   quiescent-and-correct within [within] steps of the last injected
+   fault — it stayed safe, it completed, and the completion landed no
+   later than [last_fault + within].  A run that completed before the
+   fault even landed trivially recovered. *)
+let assess_recovery ~last_fault ~within t =
+  let recovered =
+    t.safe && t.complete
+    && match t.completed_at with Some c -> c <= last_fault + within | None -> false
+  in
+  { t with recovered = Some recovered }
+
+let time_to_recover ~last_fault t =
+  match t.completed_at with
+  | Some c when t.safe -> Some (max 0 (c - last_fault))
+  | Some _ | None -> None
 
 let pp ppf t =
   Format.fprintf ppf "%s%s steps=%d msgs=%d"
     (if t.safe then "safe" else "UNSAFE")
     (if t.complete then ",complete" else if t.deadlocked then ",DEADLOCK" else ",incomplete")
-    t.steps t.messages
+    t.steps t.messages;
+  match t.recovered with
+  | None -> ()
+  | Some true -> Format.pp_print_string ppf " recovered"
+  | Some false -> Format.pp_print_string ppf " NOT-RECOVERED"
 
 let to_report t =
   let module R = Stdx.Report in
   let opt_int = function Some v -> R.int v | None -> R.str "-" in
-  R.make ~id:"verdict" ~title:"single-run verdict" ~ok:(all_good t)
+  let ok = match t.recovered with None -> all_good t | Some r -> all_good t && r in
+  R.make ~id:"verdict" ~title:"single-run verdict" ~ok
     [
       R.Metrics
         {
           title = None;
           pairs =
-            [
-              ("safe", R.bool t.safe);
-              ("complete", R.bool t.complete);
-              ("deadlocked", R.bool t.deadlocked);
-              ("steps", R.int t.steps);
-              ("messages", R.int t.messages);
-              ("first_violation", opt_int t.first_violation);
-              ("completed_at", opt_int t.completed_at);
-            ];
+            ([
+               ("safe", R.bool t.safe);
+               ("complete", R.bool t.complete);
+               ("deadlocked", R.bool t.deadlocked);
+               ("steps", R.int t.steps);
+               ("messages", R.int t.messages);
+               ("first_violation", opt_int t.first_violation);
+               ("completed_at", opt_int t.completed_at);
+             ]
+            @ match t.recovered with None -> [] | Some r -> [ ("recovered", R.bool r) ]);
         };
     ]

@@ -14,14 +14,31 @@ type t = {
   messages : int;  (** total sends on both channels *)
   first_violation : int option;  (** earliest unsafe time, if any *)
   completed_at : int option;
+  recovered : bool option;
+      (** the recovery verdict, once {!assess_recovery} has been
+          applied; [None] for ordinary (fault-free) runs *)
 }
 
 val of_result : Kernel.Runner.result -> t
+(** [recovered] starts as [None]; fault-injection callers refine it
+    with {!assess_recovery}. *)
 
 val all_good : t -> bool
 (** Safe and complete. *)
 
+val assess_recovery : last_fault:int -> within:int -> t -> t
+(** The §5 recovery notion made executable: the run {e recovered} when
+    it stayed safe, completed, and did so within [within] steps of the
+    last injected fault ([completed_at <= last_fault + within]).
+    Returns the verdict with [recovered = Some _]. *)
+
+val time_to_recover : last_fault:int -> t -> int option
+(** Steps from the last injected fault to completion for a safe,
+    completed run ([0] when the run finished before the fault landed);
+    [None] when the run was unsafe or never completed. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_report : t -> Stdx.Report.t
-(** The verdict as typed IR (id ["verdict"], [ok = all_good]). *)
+(** The verdict as typed IR (id ["verdict"], [ok = all_good], further
+    required to have recovered when a recovery verdict is present). *)

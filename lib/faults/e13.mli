@@ -1,0 +1,25 @@
+(** Experiment E13: recovery verdicts under injected faults (§5).
+
+    The §5 contrast, replayed through the fault-plan machinery instead
+    of hand-rolled adversaries:
+
+    - ABP on its FIFO-lossy channel recovers from a single drop burst
+      within a constant window (it retransmits);
+    - the counting ladder recovers from faults within its deletion
+      tolerance and never completes once the forced drops exceed it;
+    - the weakly-bounded hybrid completes after a single drop but
+      {e never recovers}: the ladder fallback transmits the rank of
+      the whole input, blowing any per-item recovery window.
+
+    A final stage feeds a seeded multi-event failing plan for the
+    hybrid to {!Shrink.run} and checks it reduces to a one-event
+    schedule — the §5 "a single fault suffices" claim, extracted
+    mechanically. *)
+
+val report :
+  ?within:int -> ?max_steps:int -> ?shrink_trials:int -> unit -> Stdx.Report.t
+(** [within] (default 64) is the recovery window for the
+    constant-recovery protocols; the ladder's window is scaled
+    internally by its [Θ(rank·W)] learning cost.  [ok] iff every
+    scenario matches its expected verdict and the shrunk plan has
+    exactly one event. *)

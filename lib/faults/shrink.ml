@@ -1,0 +1,85 @@
+type stats = { trials : int; improved : int }
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+let replace_nth i x xs = List.mapi (fun j y -> if j = i then x else y) xs
+
+(* Smaller-span variants of one event: halve, then decrement — the
+   classic ddmin step sizes, largest reduction attempted first. *)
+let span_shrinks e =
+  let variants span rebuild =
+    List.filter_map
+      (fun v -> if v >= 1 && v < span then Some (rebuild v) else None)
+      (List.sort_uniq compare [ span / 2; span - 1 ])
+  in
+  match e with
+  | Plan.Drop_burst { at; target; count } ->
+      variants count (fun count -> Plan.Drop_burst { at; target; count })
+  | Plan.Dup_burst { at; target; count } ->
+      variants count (fun count -> Plan.Dup_burst { at; target; count })
+  | Plan.Reorder_storm { at; len } -> variants len (fun len -> Plan.Reorder_storm { at; len })
+  | Plan.Blackout { at; len } -> variants len (fun len -> Plan.Blackout { at; len })
+  | Plan.Crash_restart _ -> []
+
+let delayed delta = function
+  | Plan.Drop_burst e -> Plan.Drop_burst { e with at = e.at + delta }
+  | Plan.Dup_burst e -> Plan.Dup_burst { e with at = e.at + delta }
+  | Plan.Reorder_storm e -> Plan.Reorder_storm { e with at = e.at + delta }
+  | Plan.Blackout e -> Plan.Blackout { e with at = e.at + delta }
+  | Plan.Crash_restart e -> Plan.Crash_restart { e with at = e.at + delta }
+
+let run ~channel ~still_failing ?(max_trials = 400) ?(max_delay = 16) plan =
+  let trials = ref 0 in
+  let improved = ref 0 in
+  let attempt candidate =
+    !trials < max_trials
+    && Result.is_ok (Plan.validate ~channel candidate)
+    && begin
+         incr trials;
+         still_failing candidate
+       end
+  in
+  if not (Result.is_ok (Plan.validate ~channel plan) && still_failing plan) then
+    (plan, { trials = 0; improved = 0 })
+  else begin
+    let current = ref plan in
+    (* One greedy pass: the first candidate that still fails is
+       adopted and the whole pass restarts from the reduced plan. *)
+    let adopt_first candidates =
+      match List.find_opt attempt candidates with
+      | Some c ->
+          current := c;
+          incr improved;
+          true
+      | None -> false
+    in
+    let with_events events = { !current with Plan.events } in
+    let candidates () =
+      let events = (!current).Plan.events in
+      let removals = List.mapi (fun i _ -> with_events (remove_nth i events)) events in
+      let shrinks =
+        List.concat
+          (List.mapi
+             (fun i e -> List.map (fun e' -> with_events (replace_nth i e' events)) (span_shrinks e))
+             events)
+      in
+      let delays =
+        List.concat
+          (List.mapi
+             (fun i e ->
+               List.filter_map
+                 (fun delta ->
+                   if delta <= max_delay then
+                     Some (with_events (replace_nth i (delayed delta e) events))
+                   else None)
+                 [ 16; 8; 4; 2; 1 ])
+             events)
+      in
+      removals @ shrinks @ delays
+    in
+    let progress = ref true in
+    while !progress && !trials < max_trials do
+      progress := adopt_first (candidates ())
+    done;
+    (!current, { trials = !trials; improved = !improved })
+  end

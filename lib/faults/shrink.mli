@@ -1,0 +1,31 @@
+(** Delta-debugging fault plans.
+
+    Given a plan under which a run fails (by whatever predicate the
+    caller cares about — typically "not recovered"), [run] greedily
+    reduces it to a locally-minimal failing plan: it tries dropping
+    whole events, then shrinking burst sizes and window lengths, then
+    pushing events to later start times, restarting after every
+    successful reduction until a fixpoint.  Every candidate is
+    re-validated against the channel before the predicate runs, so the
+    shrinker can never hand back an illegal plan.
+
+    "Locally minimal" means: removing any single remaining event,
+    shrinking any single span by one, or delaying any single event
+    further makes the failure disappear (or the trial budget ran
+    out) — the standard ddmin guarantee, which turns "soak found a
+    failure under this 7-event plan" into a one-line counterexample. *)
+
+type stats = { trials : int; improved : int }
+
+val run :
+  channel:Channel.Chan.kind ->
+  still_failing:(Plan.t -> bool) ->
+  ?max_trials:int ->
+  ?max_delay:int ->
+  Plan.t ->
+  Plan.t * stats
+(** [run ~channel ~still_failing plan] requires [still_failing plan]
+    to hold on entry (otherwise the plan is returned unchanged with
+    zero trials).  [max_trials] (default 400) bounds predicate
+    evaluations; [max_delay] (default 16) bounds how far an event is
+    pushed later. *)

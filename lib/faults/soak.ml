@@ -1,0 +1,200 @@
+module Report = Stdx.Report
+module Rng = Stdx.Rng
+module Chan = Channel.Chan
+module Strategy = Kernel.Strategy
+
+type case = {
+  label : string;
+  protocol : Kernel.Protocol.t;
+  input : int array;
+  plan : Plan.t;
+  base : Kernel.Strategy.t;
+  within : int;
+  max_steps : int;
+}
+
+type outcome = { case : case; verdict : Core.Verdict.t; ttr : int option }
+
+let run_case ~rng case =
+  let strategy = Inject.strategy ~plan:case.plan ~base:case.base in
+  let result =
+    Kernel.Runner.run case.protocol ~input:case.input ~strategy ~rng
+      ~max_steps:case.max_steps ()
+  in
+  let last_fault = Plan.last_fault_time case.plan in
+  let verdict =
+    Core.Verdict.of_result result
+    |> Core.Verdict.assess_recovery ~last_fault ~within:case.within
+  in
+  { case; verdict; ttr = Core.Verdict.time_to_recover ~last_fault verdict }
+
+(* ------------------------- batteries ------------------------- *)
+
+let drop1 = { Plan.name = "drop1"; events = [ Plan.Drop_burst { at = 6; target = Plan.To_receiver; count = 1 } ] }
+
+let drop3 = { Plan.name = "drop3"; events = [ Plan.Drop_burst { at = 6; target = Plan.To_receiver; count = 3 } ] }
+
+let crash_r = { Plan.name = "crashR"; events = [ Plan.Crash_restart { at = 8; who = Plan.Receiver } ] }
+
+let default_battery ?(random_plans = 4) ~seed () =
+  let xset = Seqspace.Xset.All_upto { domain = 2; max_len = 4 } in
+  let abp = Protocols.Abp.protocol ~domain:2 in
+  let ladder = Protocols.Ladder.protocol ~xset ~drop_budget:1 in
+  let hybrid = Protocols.Hybrid.protocol ~xset ~domain:2 ~drop_budget:1 ~timeout:6 () in
+  let case label protocol input plan within max_steps =
+    { label; protocol; input; plan; base = Strategy.round_robin; within; max_steps }
+  in
+  let scripted =
+    [
+      case "abp/drop1" abp [| 0; 1; 1; 0 |] drop1 64 20_000;
+      case "abp/crashR" abp [| 0; 1; 1; 0 |] crash_r 64 20_000;
+      case "ladder/drop1" ladder [| 0; 1 |] drop1 4096 200_000;
+      case "ladder/drop3" ladder [| 0; 1 |] drop3 4096 200_000;
+      case "hybrid/drop1" hybrid [| 0; 1; 0; 1 |] drop1 64 200_000;
+    ]
+  in
+  let rng = Rng.create seed in
+  let random_cases =
+    List.concat_map
+      (fun (tag, stream, protocol, input, within, max_steps) ->
+        List.init random_plans (fun i ->
+            let child = Rng.split (Rng.split rng stream) i in
+            let plan =
+              Plan.random ~channel:protocol.Kernel.Protocol.channel ~rng:child
+                ~name:(Printf.sprintf "rnd%d" i) ()
+            in
+            case (Printf.sprintf "%s/rnd%d" tag i) protocol input plan within max_steps))
+      [
+        ("abp", 0, abp, [| 0; 1; 1; 0 |], 64, 20_000);
+        ("ladder", 1, ladder, [| 0; 1 |], 4096, 200_000);
+        ("hybrid", 2, hybrid, [| 0; 1; 0; 1 |], 4096, 200_000);
+      ]
+  in
+  scripted @ random_cases
+
+(* ------------------------- the report ------------------------- *)
+
+(* Dispatch in fixed chunks regardless of [jobs] so the set of cases
+   that ran before a deadline does not depend on the job count more
+   than the deadline itself does — and without a deadline, not at
+   all. *)
+let chunk_size = 8
+
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k = function
+        | x :: tl when k > 0 ->
+            let hd, rest = take (k - 1) tl in
+            (x :: hd, rest)
+        | rest -> ([], rest)
+      in
+      let hd, rest = take n xs in
+      hd :: chunks n rest
+
+let opt_int = function Some v -> Report.int v | None -> Report.str "-"
+
+let run ?jobs ?max_seconds ~seed cases =
+  let jobs = match jobs with Some j -> j | None -> Core.Par.default_jobs () in
+  let deadline =
+    match max_seconds with
+    | None -> fun () -> false
+    | Some s ->
+        let d = Sys.time () +. s in
+        fun () -> Sys.time () > d
+  in
+  let indexed = List.mapi (fun i c -> (i, c)) cases in
+  let base = Rng.create seed in
+  let outcomes, skipped =
+    List.fold_left
+      (fun (acc, skipped) chunk ->
+        if deadline () then (acc, skipped + List.length chunk)
+        else
+          let results =
+            Core.Par.map ~jobs
+              (fun (i, c) -> run_case ~rng:(Rng.split base i) c)
+              chunk
+          in
+          (acc @ results, skipped))
+      ([], 0)
+      (chunks chunk_size indexed)
+  in
+  let total = List.length cases in
+  let ran = List.length outcomes in
+  let count f = List.length (List.filter f outcomes) in
+  let safe = count (fun o -> o.verdict.Core.Verdict.safe) in
+  let complete = count (fun o -> o.verdict.Core.Verdict.complete) in
+  let recovered = count (fun o -> o.verdict.Core.Verdict.recovered = Some true) in
+  let metrics =
+    Report.Metrics
+      {
+        title = Some "battery";
+        pairs =
+          [
+            ("cases", Report.int total);
+            ("ran", Report.int ran);
+            ("safe", Report.int safe);
+            ("complete", Report.int complete);
+            ("recovered", Report.int recovered);
+            ("truncated", Report.bool (skipped > 0));
+          ];
+      }
+  in
+  let b =
+    Report.table ~title:"per-case outcomes"
+      [
+        ("case", Report.Left);
+        ("protocol", Report.Left);
+        ("channel", Report.Left);
+        ("plan", Report.Left);
+        ("safe", Report.Right);
+        ("complete", Report.Right);
+        ("recovered", Report.Right);
+        ("steps", Report.Right);
+        ("ttr", Report.Right);
+      ]
+  in
+  List.iter
+    (fun o ->
+      let v = o.verdict in
+      Report.row b
+        [
+          Report.str o.case.label;
+          Report.str o.case.protocol.Kernel.Protocol.name;
+          Report.str (Chan.kind_name o.case.protocol.Kernel.Protocol.channel);
+          Report.str (Plan.to_string o.case.plan);
+          Report.bool v.Core.Verdict.safe;
+          Report.bool v.Core.Verdict.complete;
+          Report.bool (v.Core.Verdict.recovered = Some true);
+          Report.int v.Core.Verdict.steps;
+          opt_int o.ttr;
+        ])
+    outcomes;
+  let ttrs = List.filter_map (fun o -> Option.map float_of_int o.ttr) outcomes in
+  let histo =
+    match Stdx.Stats.histogram ~buckets:6 ttrs with
+    | [] -> []
+    | hs ->
+        let hb =
+          Report.table ~title:"time-to-recover histogram (steps)"
+            [ ("lo", Report.Right); ("hi", Report.Right); ("count", Report.Right) ]
+        in
+        List.iter
+          (fun (lo, hi, n) ->
+            Report.row hb [ Report.float lo; Report.float hi; Report.int n ])
+          hs;
+        [ Report.finish hb ]
+  in
+  let notes =
+    if skipped > 0 then
+      [
+        Printf.sprintf
+          "TRUNCATED: wall-clock budget exhausted after %d/%d cases; %d skipped" ran
+          total skipped;
+      ]
+    else []
+  in
+  Report.make ~id:"soak"
+    ~title:(Printf.sprintf "fault-injection soak battery (seed %d)" seed)
+    ~ok:(skipped = 0) ~notes
+    (metrics :: Report.finish b :: histo)

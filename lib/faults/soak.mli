@@ -1,0 +1,55 @@
+(** Soak batteries: many protocol × channel × plan runs, in parallel.
+
+    A soak case is one seeded run of a protocol under an injected
+    fault plan.  [run] fans a battery out over {!Core.Par} and folds
+    the per-run {!Core.Verdict} recovery verdicts into a single
+    {!Stdx.Report} (id ["soak"]) carrying safe / complete / recovered
+    counts, the per-case outcome table, and a time-to-recover
+    histogram — renderable as text, JSON, or CSV by the existing
+    pipeline.
+
+    Determinism: case [i] always runs with [Rng.split base i], a pure
+    function of the battery seed and the position, so the report is
+    bit-identical at every [--jobs] count (pinned by test).
+
+    Budget: [max_seconds] caps wall time.  Cases are dispatched in
+    fixed-size chunks; once the deadline passes, the remaining chunks
+    are skipped and the report's [ok] drops to [false] with a
+    truncation note saying how many cases ran.  An un-truncated
+    battery has [ok = true] {e regardless of how many runs recovered}:
+    fault injection exists to find non-recovering runs (a receiver
+    crash legitimately breaks safety), so the data is the deliverable
+    and only a truncated sweep is a failed sweep. *)
+
+type case = {
+  label : string;
+  protocol : Kernel.Protocol.t;
+  input : int array;
+  plan : Plan.t;
+  base : Kernel.Strategy.t;  (** schedule outside fault windows *)
+  within : int;  (** recovery deadline in steps after the last fault *)
+  max_steps : int;
+}
+
+type outcome = {
+  case : case;
+  verdict : Core.Verdict.t;  (** with [recovered = Some _] *)
+  ttr : int option;  (** steps from last fault to completion *)
+}
+
+val run_case : rng:Stdx.Rng.t -> case -> outcome
+(** One run: inject [case.plan] over [case.base], drive the protocol,
+    assess recovery against [case.within]. *)
+
+val default_battery : ?random_plans:int -> seed:int -> unit -> case list
+(** The standing battery: scripted §5 scenarios (ABP, ladder, and the
+    hybrid under a single drop; a receiver crash-restart) plus
+    [random_plans] (default 4) generated plans per protocol, drawn
+    from split streams of [seed] and pre-validated against each
+    protocol's channel. *)
+
+val run :
+  ?jobs:int -> ?max_seconds:float -> seed:int -> case list -> Stdx.Report.t
+(** Run the battery and fold the outcomes into the ["soak"] report.
+    [jobs] defaults to {!Core.Par.default_jobs}(); the result does not
+    depend on it. *)

@@ -5,11 +5,12 @@ type stats = {
   transitions : int;
   safety_violations : int;
   complete_states : int;
+  truncated : bool;
 }
 
 let all_moves _g _m = true
 
-let reachable p ~input ~depth ?(move_filter = all_moves) () =
+let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
   (* The intern table doubles as the seen-set: a state is new exactly
      when its fingerprint gets a fresh id.  Each generated state is
      emitted into one reusable codec buffer and interned in place —
@@ -31,6 +32,14 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
   let transitions = ref 0 in
   let violations = ref 0 in
   let completes = ref 0 in
+  let truncated = ref false in
+  (* The state budget is a resource guard, not a semantic bound: once
+     the seen-set reaches it the BFS stops enqueueing fresh states and
+     reports the partial statistics with [truncated] set, so callers
+     can attach a truncation note instead of running unbounded. *)
+  let over_budget () =
+    match max_states with Some m -> Stdx.Intern.length seen >= m | None -> false
+  in
   if not (Global.safety_ok g0) then incr violations;
   if Global.complete g0 then incr completes;
   while not (Queue.is_empty queue) do
@@ -41,11 +50,14 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
           if move_filter g move then begin
             incr transitions;
             let g' = Sim.apply p g move in
-            let _, fresh = intern g' in
-            if fresh then begin
-              if not (Global.safety_ok g') then incr violations;
-              if Global.complete g' then incr completes;
-              Queue.push (g', d + 1) queue
+            if over_budget () then truncated := true
+            else begin
+              let _, fresh = intern g' in
+              if fresh then begin
+                if not (Global.safety_ok g') then incr violations;
+                if Global.complete g' then incr completes;
+                Queue.push (g', d + 1) queue
+              end
             end
           end)
         (Sim.enabled p g)
@@ -55,6 +67,7 @@ let reachable p ~input ~depth ?(move_filter = all_moves) () =
     transitions = !transitions;
     safety_violations = !violations;
     complete_states = !completes;
+    truncated = !truncated;
   }
 
 exception Enough
@@ -96,12 +109,12 @@ let iter_runs p ~input ~depth ?(move_filter = all_moves) ?max_runs f =
 let no_drops _g = function
   | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> false
   | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _
-    ->
+  | Move.Restart_sender | Move.Restart_receiver ->
       true
 
 let bounded_flight k (g : Global.t) = function
   | Move.Wake_sender -> Chan.debt g.Global.chan_sr < k
   | Move.Wake_receiver -> Chan.debt g.Global.chan_rs < k
   | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ | Move.Drop_to_receiver _
-  | Move.Drop_to_sender _ ->
+  | Move.Drop_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
       true

@@ -13,6 +13,7 @@ type stats = {
   transitions : int;
   safety_violations : int;  (** reachable states violating Safety *)
   complete_states : int;  (** reachable states with [Y = X] *)
+  truncated : bool;  (** the [max_states] budget cut the BFS short *)
 }
 
 val reachable :
@@ -20,9 +21,13 @@ val reachable :
   input:int array ->
   depth:int ->
   ?move_filter:(Global.t -> Move.t -> bool) ->
+  ?max_states:int ->
   unit ->
   stats
-(** BFS over distinct states to the given depth. *)
+(** BFS over distinct states to the given depth.  [max_states] is a
+    resource guard: when the seen-set reaches it, no further fresh
+    states are recorded and the partial statistics come back with
+    [truncated = true]. *)
 
 val iter_runs :
   Protocol.t ->

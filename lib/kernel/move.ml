@@ -5,10 +5,13 @@ type t =
   | Deliver_to_sender of int
   | Drop_to_receiver of int
   | Drop_to_sender of int
+  | Restart_sender
+  | Restart_receiver
 
 let is_receiver_visible = function
-  | Wake_receiver | Deliver_to_receiver _ -> true
-  | Wake_sender | Deliver_to_sender _ | Drop_to_receiver _ | Drop_to_sender _ -> false
+  | Wake_receiver | Deliver_to_receiver _ | Restart_receiver -> true
+  | Wake_sender | Deliver_to_sender _ | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender ->
+      false
 
 let pp ppf = function
   | Wake_sender -> Format.pp_print_string ppf "wake S"
@@ -17,17 +20,23 @@ let pp ppf = function
   | Deliver_to_sender m -> Format.fprintf ppf "deliver %d to S" m
   | Drop_to_receiver m -> Format.fprintf ppf "drop %d (to R)" m
   | Drop_to_sender m -> Format.fprintf ppf "drop %d (to S)" m
+  | Restart_sender -> Format.pp_print_string ppf "restart S"
+  | Restart_receiver -> Format.pp_print_string ppf "restart R"
 
 let equal a b =
   match (a, b) with
-  | Wake_sender, Wake_sender | Wake_receiver, Wake_receiver -> true
+  | Wake_sender, Wake_sender
+  | Wake_receiver, Wake_receiver
+  | Restart_sender, Restart_sender
+  | Restart_receiver, Restart_receiver ->
+      true
   | Deliver_to_receiver m, Deliver_to_receiver n
   | Deliver_to_sender m, Deliver_to_sender n
   | Drop_to_receiver m, Drop_to_receiver n
   | Drop_to_sender m, Drop_to_sender n ->
       m = n
   | ( ( Wake_sender | Wake_receiver | Deliver_to_receiver _ | Deliver_to_sender _
-      | Drop_to_receiver _ | Drop_to_sender _ ),
+      | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender | Restart_receiver ),
       _ ) ->
       false
 

@@ -13,6 +13,12 @@ type t =
   | Deliver_to_sender of int  (** deliver a copy of this R-message *)
   | Drop_to_receiver of int  (** delete an in-flight S-message copy *)
   | Drop_to_sender of int
+  | Restart_sender
+      (** crash-restart: reset the sender to its initial state; the
+          channels keep their in-flight contents.  Never offered by
+          {!Sim.enabled} — only a fault plan ({!Faults.Plan}) injects
+          it, so ordinary searches and schedules are unaffected. *)
+  | Restart_receiver
 
 val is_receiver_visible : t -> bool
 (** Moves the receiver can observe (its wake-ups and deliveries to

@@ -18,6 +18,8 @@ let chart_window trace ~from ~upto =
           | Move.Deliver_to_sender m -> ("recv", Printf.sprintf "<--[%d]--" m, "")
           | Move.Drop_to_receiver m -> ("", Printf.sprintf "--[%d]--X" m, "")
           | Move.Drop_to_sender m -> ("", Printf.sprintf "X--[%d]--" m, "")
+          | Move.Restart_sender -> ("CRASH/restart", "", "")
+          | Move.Restart_receiver -> ("", "", "CRASH/restart")
         in
         let output =
           if wrote > 0 then

@@ -2,10 +2,19 @@ type stop_reason = Completed | Quiescent | Budget | Strategy_end
 
 type result = { trace : Trace.t; stop : stop_reason; steps : int }
 
-let run p ~input ~strategy ~rng ~max_steps ?(post_roll = 0) () =
+let run p ~input ~strategy ~rng ~max_steps ?max_seconds ?(post_roll = 0) () =
   let builder = Trace.start p ~input in
+  (* The wall-clock guard is checked every 256 steps so the hot loop
+     stays syscall-free; [Sys.time] is CPU time, which is what a
+     budgeted soak battery wants to bound. *)
+  let deadline = Option.map (fun s -> Sys.time () +. s) max_seconds in
+  let over_deadline steps =
+    match deadline with
+    | Some d -> steps land 255 = 0 && Sys.time () > d
+    | None -> false
+  in
   let rec loop steps roll_left =
-    if steps >= max_steps then Budget
+    if steps >= max_steps || over_deadline steps then Budget
     else begin
       let g = Trace.current builder in
       if Global.complete g && roll_left <= 0 then Completed

@@ -18,13 +18,16 @@ val run :
   strategy:Strategy.t ->
   rng:Stdx.Rng.t ->
   max_steps:int ->
+  ?max_seconds:float ->
   ?post_roll:int ->
   unit ->
   result
 (** Drives the system until the output is complete (then for
     [post_roll] extra moves, default 0 — knowledge measurements want a
     tail), quiescence, step budget, or strategy surrender.  Every
-    transition is recorded in the trace. *)
+    transition is recorded in the trace.  [max_seconds] adds a
+    CPU-time guard on top of the step budget (checked every 256
+    steps); exceeding either reports [Budget]. *)
 
 val run_seeds :
   Protocol.t ->

@@ -61,6 +61,13 @@ let apply (p : Protocol.t) (g : Global.t) move =
         match Chan.drop g.chan_rs m with
         | None -> raise (Model_violation (Printf.sprintf "message %d not droppable (to S)" m))
         | Some chan_rs -> { g with chan_rs })
+    (* Crash-restart faults: the process loses its local state and
+       comes back up in its initial state; the channels keep every
+       in-flight copy and the kernel histories (the observer's record,
+       not the process's memory) are untouched.  These moves are never
+       listed by [enabled] — only a fault injector plays them. *)
+    | Move.Restart_sender -> { g with sender = p.Protocol.make_sender ~input:g.input }
+    | Move.Restart_receiver -> { g with receiver = p.Protocol.make_receiver () }
   in
   { g' with time = g.time + 1 }
 

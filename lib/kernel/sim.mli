@@ -17,7 +17,10 @@ val enabled : Protocol.t -> Global.t -> Move.t list
 (** All moves the environment may take, deterministic order: wakes
     first, then deliveries (ascending message), then drops.  Wake
     moves are always enabled (Property 1(b)i: there is always an
-    extension in which no message is delivered). *)
+    extension in which no message is delivered).  Restart moves are
+    {e not} listed: they model injected faults, outside the
+    environment protocol the bounds quantify over, and are only played
+    by the fault layer via {!apply}. *)
 
 val apply : Protocol.t -> Global.t -> Move.t -> Global.t
 (** Perform one move.

@@ -15,9 +15,15 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t =
-  let seed = bits64 t in
-  { state = mix seed }
+(* Pure indexed splitting: the child stream is a function of the
+   parent's *current* state and the index alone — the parent is not
+   advanced — so [split base i] is the same generator no matter how
+   many other children were split off first, or on which domain.  The
+   double mix decorrelates children whose pre-mix states differ by a
+   small multiple of the golden gamma. *)
+let split t i =
+  let base = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix (Int64.add (mix base) golden_gamma) }
 
 let int t n =
   assert (n > 0);

@@ -17,11 +17,14 @@ val copy : t -> t
 (** [copy t] is an independent generator that will replay exactly the
     stream [t] would have produced from this point. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns a new generator whose stream is
-    statistically independent of the remainder of [t]'s stream.  Used
-    to give each simulation component its own stream without
-    cross-component coupling. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child generator from [t]'s current
+    state {e without advancing [t]}: the result depends only on the
+    parent state and the index, so child [i] is the same stream
+    whether the children are derived in order, out of order, or on
+    different domains — the property that makes the soak runner's
+    per-plan streams bit-identical at every job count.  Distinct
+    indices give statistically independent streams. *)
 
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)

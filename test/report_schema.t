@@ -28,6 +28,36 @@ The alpha table, plus the CSV renderer on stdout:
   $ stp validate alpha.json
   alpha.json: valid report artifact, 1 report(s), schema version 1
 
+A soak battery (fault injection): bit-identical at every job count,
+and its artifact passes the same gate:
+
+  $ stp soak --seed 5 --random-plans 1 --jobs 1 --json soak1.json > /dev/null
+  $ stp soak --seed 5 --random-plans 1 --jobs 3 --json soak3.json > /dev/null
+  $ cmp soak1.json soak3.json
+  $ stp validate soak1.json
+  soak1.json: valid report artifact, 1 report(s), schema version 1
+
+A schema-valid artifact that records a failure fails validation: the
+verdict envelope is load-bearing, so a truncated soak (wall budget 0)
+exits non-zero end to end:
+
+  $ stp soak --seed 5 --random-plans 1 --max-seconds 0 --json trunc.json > /dev/null
+  stp: soak battery was truncated before completing
+  [124]
+  $ stp validate trunc.json
+  stp: trunc.json: schema-valid, but report(s) carry ok=false: soak
+  [124]
+
+A failing verify run exits non-zero and its artifact is likewise
+rejected (ABP is unsafe under reordering):
+
+  $ stp verify -p abp -c dup -d 2 --seeds 1 --max-failures 0 --json unsafe.json > /dev/null
+  stp: verification found failing runs
+  [124]
+  $ stp validate unsafe.json
+  stp: unsafe.json: schema-valid, but report(s) carry ok=false: verify
+  [124]
+
 Corrupt artifacts are rejected:
 
   $ echo '{"schema_version": 99, "id": "x"}' > bad.json

@@ -259,6 +259,40 @@ let test_e10_baseline () =
   check Alcotest.int "depth" 7 w.Attack.depth;
   check Alcotest.int "states explored" 69 w.Attack.states_explored
 
+(* Every byte of the E1-E12 quick-mode tables and notes, pinned as MD5
+   digests recorded before the fault-injection layer landed: restart
+   moves, recovery verdicts, and the budget plumbing must be invisible
+   to every schedule that injects no fault. *)
+let e_digests_pre =
+  [
+    ("E1", "50418b1e2e7002106beb17f8a5f7f420", "1b14d7c01af322d73c50e3d94a8f5b6f");
+    ("E2", "69d0be95c305a736da152e2cdc0531db", "b8393ae9253269aabdede27257fb2cb1");
+    ("E3", "815fa94ed0b548d69f3925b3da825b2d", "9385a0dbc29cb743ff71c936fd3b85cd");
+    ("E4", "167d47a89defd88cd84020ea805e6733", "7e6353aa471c5a0bbfb659762ba6312f");
+    ("E5", "87b636635ad806b6cc5ffbf149426faa", "d4b8b83ca8bf459d18838132fded0b4c");
+    ("E6", "9b4de806ac45a7ca7248e4187e2419e6", "b39e195eee2041ef19d1afc4625b4ed6");
+    ("E7", "4aebacfe8b3c4c6641c40fddc8fcf327", "618de41397e566be94fec97e2416b288");
+    ("E8", "7530afa8c20d8153a3d4f2e66895e5b7", "8e9a7e6b17140a11a0442ba8c1e94bdd");
+    ("E9", "55253e89c58249287694b887a45f1a2a", "f045ddce509025cbdf8a8e46e849f317");
+    ("E10", "7e17aa20a57fda7be09add0375b3598c", "6d365baa712d46749a764bac92c7de3e");
+    ("E11", "deb59a3f00a747e198e00cc2741d9c57", "5a71dcb87f87a265ed692f6ef3623aad");
+    ("E12", "b3a05a9c8d937cd1e68d820f55588c14", "9541fe15645fcdac15abf15731a93845");
+  ]
+
+let test_experiment_digests () =
+  List.iter
+    (fun (id, table_md5, notes_md5) ->
+      match Kernel.Registry.find_experiment id with
+      | None -> Alcotest.failf "experiment %s not registered" id
+      | Some e ->
+          let r = e.Kernel.Registry.e_quick () in
+          let digest s = Digest.to_hex (Digest.string s) in
+          check Alcotest.string (id ^ " table bytes") table_md5
+            (digest (Core.Experiments.table r));
+          check Alcotest.string (id ^ " notes bytes") notes_md5
+            (digest (String.concat "\n" (Core.Experiments.notes r))))
+    e_digests_pre
+
 let test_search_jobs_equivalence () =
   let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
   let xs = [ [ 0; 1 ]; [ 1; 0 ]; [ 1 ]; [ 0 ] ] in
@@ -345,6 +379,7 @@ let () =
           Alcotest.test_case "e2 dup attack" `Quick test_e2_baseline;
           Alcotest.test_case "e3 del attack" `Quick test_e3_baseline;
           Alcotest.test_case "e10 crossover cell" `Quick test_e10_baseline;
+          Alcotest.test_case "e1-e12 quick output bytes" `Slow test_experiment_digests;
           Alcotest.test_case "jobs-invariant sweep" `Quick test_search_jobs_equivalence;
           Alcotest.test_case "runstate sharing invariant" `Quick test_runstate_sharing_invariant;
         ] );

@@ -38,6 +38,11 @@ let test_e11 () = assert_ok (Core.Experiments.e11_knowledge_ladder ~m:2 ~seeds:3
 
 let test_e12 () = assert_ok (Core.Experiments.e12_recoverability ~input:[ 0 ] ())
 
+let test_e13 () =
+  let r = Faults.E13.report ~max_steps:60_000 ~shrink_trials:80 () in
+  assert_ok r;
+  check Alcotest.string "id" "E13" (Core.Experiments.id r)
+
 let test_tables_render () =
   let r = Core.Experiments.e1_alpha_tightness ~m_max:3 ~m_verify:0 ~seeds:1 () in
   check Alcotest.bool "nonempty table" true (String.length (Core.Experiments.table r) > 0);
@@ -60,6 +65,7 @@ let () =
           Alcotest.test_case "E10 crossover" `Slow test_e10;
           Alcotest.test_case "E11 knowledge ladder" `Slow test_e11;
           Alcotest.test_case "E12 recoverability" `Slow test_e12;
+          Alcotest.test_case "E13 fault recovery" `Slow test_e13;
           Alcotest.test_case "tables render" `Quick test_tables_render;
         ] );
     ]

@@ -395,7 +395,7 @@ let test_explore_no_drops_filter () =
         (function
           | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> saw_drop := true
           | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _
-          | Move.Deliver_to_sender _ ->
+          | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
               ())
         (Trace.moves trace));
   check Alcotest.bool "filter removes drops" false !saw_drop

@@ -32,8 +32,32 @@ let test_rng_copy_replays () =
 
 let test_rng_split_independent () =
   let a = Rng.create 7 in
-  let b = Rng.split a in
+  let b = Rng.split a 0 in
   check Alcotest.bool "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_pure () =
+  let a = Rng.create 11 in
+  let b1 = Rng.bits64 (Rng.split a 3) in
+  (* Deriving other children (in any order) must not perturb child 3,
+     and the parent must not advance. *)
+  ignore (Rng.bits64 (Rng.split a 0));
+  ignore (Rng.bits64 (Rng.split a 7));
+  let b2 = Rng.bits64 (Rng.split a 3) in
+  check Alcotest.int64 "split is pure in the parent" b1 b2;
+  check Alcotest.int64 "parent state unmoved" (Rng.bits64 (Rng.create 11)) (Rng.bits64 a)
+
+let prop_rng_split_prefixes_disjoint =
+  QCheck.Test.make ~name:"Rng.split streams are stable and prefix-disjoint"
+    QCheck.(pair small_int (pair (int_range 0 50) (int_range 0 50)))
+    (fun (seed, (i, j)) ->
+      let prefix k =
+        let r = Rng.split (Rng.create seed) k in
+        List.init 32 (fun _ -> Rng.bits64 r)
+      in
+      let again = prefix i in
+      prefix i = again
+      && (i = j
+         || List.for_all (fun v -> not (List.mem v (prefix j))) again))
 
 let prop_rng_int_range =
   QCheck.Test.make ~name:"Rng.int stays in range"
@@ -464,9 +488,11 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split pure in parent" `Quick test_rng_split_pure;
           Alcotest.test_case "bool both values" `Quick test_rng_bool_both_values;
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "pick_weighted zero weight" `Quick test_rng_pick_weighted;
+          qtest prop_rng_split_prefixes_disjoint;
           qtest prop_rng_int_range;
           qtest prop_rng_shuffle_permutes;
         ] );
