@@ -1,7 +1,7 @@
 (* Benchmark harness.
 
-   Running this executable regenerates every reproduction table
-   (E1–E12, see DESIGN.md §3 and EXPERIMENTS.md) at full parameters and
+   Running this executable regenerates every registered reproduction
+   table (E1–E14, see DESIGN.md §3 and EXPERIMENTS.md) at full parameters and
    then times the underlying machinery with Bechamel — one benchmark
    per experiment, measuring the work that experiment's table is built
    from, plus kernel micro-benchmarks.
@@ -171,19 +171,7 @@ let sweep_xs =
 
 let sweep_caps = 3
 
-let sweep_pairs =
-  lazy
-    (let rec pairs = function
-       | [] -> []
-       | x :: rest ->
-           List.filter_map
-             (fun y ->
-               if Seqspace.Xset.is_prefix x y || Seqspace.Xset.is_prefix y x then None
-               else Some (x, y))
-             rest
-           @ pairs rest
-     in
-     pairs (Lazy.force sweep_xs))
+let sweep_pairs = lazy (Core.Attack.eligible_pairs ~xs:(Lazy.force sweep_xs))
 
 (* Both arms run the identical [search_pair] loop over the identical
    pair list; only the stores differ. *)
@@ -210,6 +198,44 @@ let sweep_workload ~memo () =
 
 let sweep_shared_workload () = sweep_workload ~memo:true ()
 let sweep_nomemo_workload () = sweep_workload ~memo:false ()
+
+(* The quotiented sweep against its unquotiented twin, through the
+   public [Attack.search] entry point: same pair list, same caps, the
+   delta is the orbit dedup (plus the canonicalisation overhead it
+   pays for).  Sequential so the ratio isolates the quotient, not the
+   domain pool. *)
+let sweep_quotient_workload ~symm () =
+  let p = Lazy.force sweep_protocol in
+  ignore
+    (Core.Attack.search p ~xs:(Lazy.force sweep_xs) ~depth:200
+       ~max_sends_per_sender:sweep_caps ~max_sends_per_receiver:sweep_caps ~symm ~jobs:1 ())
+
+let sweep_symm_workload () = sweep_quotient_workload ~symm:true ()
+let sweep_nosymm_workload () = sweep_quotient_workload ~symm:false ()
+
+(* The canonicalisation kernel in isolation: first-occurrence
+   relabelling of every eligible m=4 pair — the exact per-pair work
+   E14's orbit dedup adds on top of the raw sweep. *)
+let canon_pairs = lazy (Core.Attack.eligible_pairs ~xs:(Seqspace.Norep.enumerate ~m:4))
+
+let state_canon_workload () =
+  List.iter
+    (fun (x1, x2) -> ignore (Kernel.Symm.canon_pair ~m:4 x1 x2))
+    (Lazy.force canon_pairs)
+
+(* The succinct frontier's push/pop throughput: a BFS-shaped load of
+   paired int keys through the chunked varint FIFO, including the
+   chunk-recycling boundary crossings. *)
+let frontier_pack_workload () =
+  let f = Stdx.Frontier.create () in
+  for round = 0 to 3 do
+    for i = 0 to 4_095 do
+      Stdx.Frontier.push2 f ((round * 4096) + i) (i * 131)
+    done;
+    for _ = 0 to 4_095 do
+      ignore (Stdx.Frontier.pop2 f : int * int)
+    done
+  done
 
 (* A codec-layer micro: generate and fingerprint a few thousand states
    through the emit + intern_bytes hot path, isolated from the attack
@@ -243,6 +269,10 @@ let benches =
     ("soak_battery", soak_workload);
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);
+    ("sweep_allpairs_symm", sweep_symm_workload);
+    ("sweep_allpairs_nosymm", sweep_nosymm_workload);
+    ("state_canon", state_canon_workload);
+    ("frontier_pack", frontier_pack_workload);
     ("state_fingerprint_bfs", fingerprint_workload);
     ("kernel_full_run", sim_step_workload);
     ("alpha_100", alpha_workload);

@@ -1,19 +1,32 @@
-(* Report-only performance gate.
+(* Enforcing performance gate.
 
    Compares two bench JSON artifacts (as written by
    [bench/main.exe --json], schema-checked through the shared report
    IR) benchmark by benchmark and prints the deltas, flagging rows
-   whose time moved outside a tolerance band.  It never fails the
-   build: micro-benchmark noise on shared hardware makes a hard gate
-   flaky, so the gate's job is to make regressions loud in the build
-   log, not to block on them.
+   whose time moved outside a tolerance band.
 
-     dune exec bench/perf_gate.exe -- BASELINE.json LATEST.json [--tolerance PCT]
+     dune exec bench/perf_gate.exe -- BASELINE.json LATEST.json... [--tolerance PCT]
 
-   Exit status is always 0 (barring unreadable/invalid artifacts).
-   The default tolerance is 25%: micro timings on warm benchmarks are
-   usually repeatable to well within that, while quota-sized noise
-   stays below it. *)
+   Several LATEST artifacts may be given (independent timing passes of
+   the same suite); the gate scores each benchmark by its *minimum*
+   across them.  Transient host load can only inflate a timing, never
+   deflate it, so the fastest observed pass is the best estimator of
+   the true cost — and a spike must hit every pass to produce a false
+   failure.  `make perf-gate` runs three passes.
+
+   Exit status is 1 when any baseline benchmark regressed beyond the
+   tolerance or went missing from the latest run(s), 0 otherwise (and
+   2 on unreadable/invalid artifacts).  Setting [STP_PERF_GATE=warn]
+   in the environment restores the old report-only behaviour — same
+   table, same verdicts, always exit 0 — as the escape hatch for
+   loaded CI hosts where even min-of-N micro timings aren't
+   trustworthy.
+
+   The default tolerance is 50%: min-of-N timings on warm benchmarks
+   are repeatable to well within that, so a 1.5x slowdown is a real
+   regression and not quota-sized noise.  New benchmarks (in the
+   latest run but not the baseline) never fail the gate; they are how
+   the baseline grows. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("perf_gate: " ^ s); exit 2) fmt
 
@@ -86,7 +99,7 @@ let load path =
   (nanos, minor)
 
 let () =
-  let tolerance = ref 25.0 in
+  let tolerance = ref 50.0 in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -102,13 +115,35 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let baseline_path, latest_path =
+  let baseline_path, latest_paths =
     match List.rev !paths with
-    | [ b; l ] -> (b, l)
-    | _ -> fail "usage: perf_gate BASELINE.json LATEST.json [--tolerance PCT]"
+    | b :: (_ :: _ as ls) -> (b, ls)
+    | _ -> fail "usage: perf_gate BASELINE.json LATEST.json... [--tolerance PCT]"
   in
   let base_ns, base_mw = load baseline_path in
-  let new_ns, new_mw = load latest_path in
+  (* Min-of-N across the latest passes: keep the fastest timing (and
+     smallest allocation count) seen for each benchmark. *)
+  let new_ns, new_mw =
+    let min_merge into (tbl : (string, float) Hashtbl.t) =
+      Hashtbl.iter
+        (fun name v ->
+          match Hashtbl.find_opt into name with
+          | Some prev when Float.is_nan v || prev <= v -> ()
+          | Some _ | None -> Hashtbl.replace into name v)
+        tbl
+    in
+    let ns = Hashtbl.create 32 and mw = Hashtbl.create 32 in
+    List.iter
+      (fun path ->
+        let pns, pmw = load path in
+        min_merge ns pns;
+        min_merge mw pmw)
+      latest_paths;
+    (ns, mw)
+  in
+  let latest_path =
+    match latest_paths with [ l ] -> l | ls -> Printf.sprintf "min of %d passes" (List.length ls)
+  in
   let names =
     Hashtbl.fold (fun k _ acc -> k :: acc) base_ns [] |> List.sort String.compare
   in
@@ -176,5 +211,13 @@ let () =
         Stdx.Tabular.add_row t [ name; "-"; pretty n; "n/a"; "n/a"; "new" ])
     new_ns;
   Stdx.Tabular.print t;
-  Printf.printf "perf gate: %d regression(s) beyond %.0f%%, %d improvement(s), %d missing — report only, not enforced\n"
+  let warn_only =
+    match Sys.getenv_opt "STP_PERF_GATE" with Some "warn" -> true | Some _ | None -> false
+  in
+  let failing = !regressions + !missing in
+  Printf.printf "perf gate: %d regression(s) beyond %.0f%%, %d improvement(s), %d missing — %s\n"
     !regressions !tolerance !improvements !missing
+    (if warn_only then "STP_PERF_GATE=warn, report only"
+     else if failing > 0 then "FAIL"
+     else "ok");
+  if failing > 0 && not warn_only then exit 1

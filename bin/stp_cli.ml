@@ -9,7 +9,7 @@
      verify       batch-verify a protocol over its allowable set
      recover      dead-state (Property 2) analysis
      census       sample random protocols at m=1 (E9)
-     experiments  run the E1-E13 reproduction experiments
+     experiments  run the E1-E14 reproduction experiments
      soak         fault-injection soak battery with recovery verdicts
      validate     check a --json artifact against the report schema
                   (exits non-zero when any report carries ok=false)
@@ -218,7 +218,7 @@ let simulate_cmd =
 
 (* ---------------- attack ---------------- *)
 
-let attack_run protocol config x1 x2 xs depth single jobs json =
+let attack_run protocol config x1 x2 xs depth single symm jobs json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* p = Registry.build_protocol ~name:protocol config in
   let describe = function
@@ -237,7 +237,7 @@ let attack_run protocol config x1 x2 xs depth single jobs json =
   if xs <> [] then begin
     (* Sweep mode: every eligible pair from the repeated --x inputs,
        fanned out over --jobs domains. *)
-    let outcomes, witness = Core.Attack.search p ~xs ~depth ~jobs () in
+    let outcomes, witness = Core.Attack.search p ~xs ~depth ~jobs ~symm () in
     List.iter
       (fun (a, b, o) ->
         Format.printf "%a vs %a: %s@." Seqspace.Xset.pp_sequence a Seqspace.Xset.pp_sequence b
@@ -251,8 +251,8 @@ let attack_run protocol config x1 x2 xs depth single jobs json =
   end
   else begin
     let outcome =
-      if single then Core.Attack.search_single p ~x:x1 ~depth ()
-      else Core.Attack.search_pair p ~x1 ~x2 ~depth ()
+      if single then Core.Attack.search_single p ~x:x1 ~depth ~symm ()
+      else Core.Attack.search_pair p ~x1 ~x2 ~depth ~symm ()
     in
     (match outcome with
     | Core.Attack.Witness w -> Format.printf "%a@." Core.Attack.pp_witness w
@@ -287,13 +287,23 @@ let attack_cmd =
   let single =
     Arg.(value & flag & info [ "single" ] ~doc:"Single-run safety search on x1 only.")
   in
+  let symm =
+    Arg.(
+      value & flag
+      & info [ "symm" ]
+          ~doc:
+            "Quotient the search by data-alphabet symmetry: canonicalise inputs by \
+             first-occurrence relabelling, search one representative per orbit of input \
+             pairs, and translate witnesses back.  Outcomes are unchanged; only protocols \
+             declaring an equivariance are affected (others ignore the flag).")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Search for an impossibility witness (the Theorem 1/2 construction, executable).")
     Term.(
       ret
         (const attack_run $ protocol_arg $ config_term $ x1 $ x2 $ xs $ depth $ single
-       $ jobs_arg $ json_arg))
+       $ symm $ jobs_arg $ json_arg))
 
 (* ---------------- knowledge ---------------- *)
 
@@ -498,7 +508,7 @@ let experiments_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the E1-E13 reproduction experiments.")
+    (Cmd.info "experiments" ~doc:"Run the E1-E14 reproduction experiments.")
     Term.(ret (const experiments_run $ quick $ only $ format_arg $ json_arg))
 
 (* ---------------- soak ---------------- *)

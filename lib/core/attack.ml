@@ -3,6 +3,7 @@ module Global = Kernel.Global
 module Move = Kernel.Move
 module Sim = Kernel.Sim
 module Protocol = Kernel.Protocol
+module Symm = Kernel.Symm
 module Xset = Seqspace.Xset
 module IntSet = Set.Make (Int)
 
@@ -87,15 +88,32 @@ module Runstate = struct
     x : int list;
     intern : Stdx.Intern.t;  (* run-key bytes → dense state id *)
     scratch : Stdx.Codec.t;
-    succ : (int * Move.t, (Global.t * int) option) Hashtbl.t;
-        (* (parent state id, move) → successor and its id, or None
-           when the simulator rejects the move
+    stride : int;
+        (* distinct move codes for this protocol's alphabets: memo keys
+           are the flat int [id * stride + move code], so lookups hash
+           one immediate int instead of a boxed (int, Move.t) pair *)
+    succ : (int, (Global.t * int) option) Hashtbl.t;
+        (* packed (parent state id, move) → successor and its id, or
+           None when the simulator rejects the move
            ([Sim.Model_violation]). *)
     lock : Mutex.t;
     g0 : Global.t;
     memo : bool;
     mutable hits : int;  (* cache hits — the work the sweep shares *)
   }
+
+  (* Every move a search can feed the store, numbered densely: message
+     values are bounded by the declared alphabets ([validate_action]
+     enforces this), so the code space has a fixed stride per state. *)
+  let move_code ~sa ~ra = function
+    | Move.Wake_sender -> 0
+    | Move.Wake_receiver -> 1
+    | Move.Restart_sender -> 2
+    | Move.Restart_receiver -> 3
+    | Move.Deliver_to_receiver m -> 4 + m
+    | Move.Drop_to_receiver m -> 4 + sa + m
+    | Move.Deliver_to_sender m -> 4 + (2 * sa) + m
+    | Move.Drop_to_sender m -> 4 + (2 * sa) + ra + m
 
   (* Caller must hold [lock]. *)
   let sid t g =
@@ -112,6 +130,7 @@ module Runstate = struct
         x;
         intern = Stdx.Intern.create ~size:64 ();
         scratch = Stdx.Codec.create ~size:256 ();
+        stride = 4 + (2 * (p.Protocol.sender_alphabet + p.Protocol.receiver_alphabet));
         succ = Hashtbl.create 64;
         lock = Mutex.create ();
         g0 = Global.initial p ~input:(Array.of_list x);
@@ -137,7 +156,10 @@ module Runstate = struct
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
         (fun () ->
-          match Hashtbl.find_opt t.succ (id, move) with
+          let sa = t.p.Protocol.sender_alphabet in
+          let ra = t.p.Protocol.receiver_alphabet in
+          let k = (id * t.stride) + move_code ~sa ~ra move in
+          match Hashtbl.find_opt t.succ k with
           | Some r ->
               t.hits <- t.hits + 1;
               r
@@ -147,7 +169,7 @@ module Runstate = struct
                 | exception Sim.Model_violation _ -> None
                 | g' -> Some (g', sid t g')
               in
-              Hashtbl.add t.succ (id, move) r;
+              Hashtbl.add t.succ k r;
               r)
     end
 
@@ -246,11 +268,13 @@ module Starved = struct
       rep;
     }
 
-  (* Iterative Tarjan SCC over an integer-indexed graph. *)
+  (* Iterative Tarjan SCC over an integer-indexed graph.  The on-stack
+     flags live in a bit-packed set rather than a [bool array] — one
+     bit per vertex instead of a byte, and the GC never scans it. *)
   let tarjan n succs =
     let index = Array.make n (-1) in
     let lowlink = Array.make n 0 in
-    let on_stack = Array.make n false in
+    let on_stack = Stdx.Bitset.create ~size:(max 1 n) () in
     let comp = Array.make n (-1) in
     let stack = ref [] in
     let next_index = ref 0 in
@@ -263,7 +287,7 @@ module Starved = struct
       lowlink.(v) <- !next_index;
       incr next_index;
       stack := v :: !stack;
-      on_stack.(v) <- true;
+      ignore (Stdx.Bitset.add on_stack v : bool);
       while not (Stack.is_empty work) do
         let u, i = Stack.pop work in
         let children = succs.(u) in
@@ -275,10 +299,11 @@ module Starved = struct
             lowlink.(w) <- !next_index;
             incr next_index;
             stack := w :: !stack;
-            on_stack.(w) <- true;
+            ignore (Stdx.Bitset.add on_stack w : bool);
             Stack.push (w, 0) work
           end
-          else if on_stack.(w) then lowlink.(u) <- min lowlink.(u) index.(w)
+          else if Stdx.Bitset.mem on_stack w then
+            lowlink.(u) <- min lowlink.(u) index.(w)
         end
         else begin
           if lowlink.(u) = index.(u) then begin
@@ -287,7 +312,7 @@ module Starved = struct
               | [] -> ()
               | w :: rest ->
                   stack := rest;
-                  on_stack.(w) <- false;
+                  Stdx.Bitset.remove on_stack w;
                   comp.(w) <- !next_comp;
                   if w <> u then pop ()
             in
@@ -423,7 +448,7 @@ let make_deadline = function
       let d = Sys.time () +. seconds in
       fun () -> Sys.time () > d
 
-let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
+let search_pair_raw (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
     ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds
     ?runstates () =
   let allow_drops =
@@ -450,7 +475,10 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
          ~len:(Stdx.Codec.length scratch))
   in
   let table : (key, node) Hashtbl.t = Hashtbl.create 64 in
-  let queue : key Queue.t = Queue.create () in
+  (* The frontier holds only the joint ids, varint-packed into chunked
+     codec buffers — the node (globals, parent, depth) already lives in
+     [table], so queueing boxed keys or tuples would pay twice. *)
+  let frontier = Stdx.Frontier.create () in
   let g1_0, rsid1_0 = Runstate.initial rs1 in
   let g2_0, rsid2_0 = Runstate.initial rs2 in
   (* Historical id order: the g2 side of a joint key is interned
@@ -469,7 +497,7 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
       node_depth = 0;
       edges = [];
     };
-  Queue.push key0 queue;
+  Stdx.Frontier.push2 frontier a0 b0;
   let result = ref None in
   let truncated = ref false in
   let check_safety key (node : node) =
@@ -481,13 +509,13 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
     end
   in
   check_safety key0 (Hashtbl.find table key0);
-  while (not (Queue.is_empty queue)) && !result = None do
+  while (not (Stdx.Frontier.is_empty frontier)) && !result = None do
     if over_deadline () then begin
       truncated := true;
-      Queue.clear queue
+      Stdx.Frontier.clear frontier
     end
     else begin
-    let key = Queue.pop queue in
+    let key = Stdx.Frontier.pop2 frontier in
     let node = Hashtbl.find table key in
     if node.node_depth >= depth then truncated := true
     else begin
@@ -547,7 +575,7 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
                     in
                     Hashtbl.replace table key' node';
                     check_safety key' node';
-                    Queue.push key' queue
+                    Stdx.Frontier.push2 frontier (fst key') (snd key')
                   end
                 end
           end)
@@ -597,8 +625,9 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
         | None -> No_violation { closed = true; states_explored }
       end
 
-let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?allow_drops
-    ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds () =
+let search_single_raw (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000)
+    ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds
+    () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
@@ -615,20 +644,20 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
   let table : (int, Global.t * (int * Move.t) option * int) Hashtbl.t =
     Hashtbl.create 64
   in
-  let queue = Queue.create () in
+  let frontier = Stdx.Frontier.create () in
   let g0 = Global.initial p ~input:(Array.of_list x) in
   let key0 = gid g0 in
   Hashtbl.replace table key0 (g0, None, 0);
-  Queue.push key0 queue;
+  Stdx.Frontier.push frontier key0;
   let result = ref None in
   let truncated = ref false in
-  while (not (Queue.is_empty queue)) && !result = None do
+  while (not (Stdx.Frontier.is_empty frontier)) && !result = None do
     if over_deadline () then begin
       truncated := true;
-      Queue.clear queue
+      Stdx.Frontier.clear frontier
     end
     else begin
-    let key = Queue.pop queue in
+    let key = Stdx.Frontier.pop frontier in
     let g, _, d = Hashtbl.find table key in
     if d >= depth then truncated := true
     else
@@ -651,7 +680,7 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
                 else begin
                   Hashtbl.replace table key' (g', Some (key, move), d + 1);
                   if not (Global.safety_ok g') then result := Some key';
-                  Queue.push key' queue
+                  Stdx.Frontier.push frontier key'
                 end
               end
             end
@@ -679,8 +708,71 @@ let search_single (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000) ?all
         }
   | None -> No_violation { closed = not !truncated; states_explored }
 
-let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
-    ?max_sends_per_receiver ?max_seconds ?jobs () =
+(* --- The symmetry quotient -------------------------------------------
+
+   For a protocol declaring an {!Symm.equivariance}, relabelling the
+   data alphabet by a permutation π maps the whole transition system on
+   input(s) X onto the system on π(X): same shape, same state counts,
+   same witnesses with message values mapped through the protocol's
+   lifts.  So a search on the orbit's canonical representative (the
+   first-occurrence relabelling, see {!Symm}) answers for every member:
+   run the canonical search, then translate any witness path back
+   through π⁻¹.  [No_violation] outcomes carry no symbols and
+   [states_explored] is π-invariant, so they pass through unchanged. *)
+
+(* Smallest alphabet covering every symbol that occurs — permutations
+   of symbols no input mentions cannot affect any run. *)
+let infer_m xss =
+  List.fold_left (List.fold_left (fun acc s -> max acc (s + 1))) 0 xss
+
+let relabel_joint eq f = function
+  | Sync m -> Sync (Symm.relabel_move eq f m)
+  | Only1 m -> Only1 (Symm.relabel_move eq f m)
+  | Only2 m -> Only2 (Symm.relabel_move eq f m)
+
+(* Translate the canonical representative's outcome back to the orbit
+   member [(x1, x2)] whose canonicalising permutation was [pi]. *)
+let relabel_outcome eq pi ~x1 ~x2 = function
+  | No_violation _ as o -> o
+  | Witness w ->
+      let f = Symm.apply (Symm.invert pi) in
+      Witness { w with x1; x2; joint_moves = List.map (relabel_joint eq f) w.joint_moves }
+
+let search_pair (p : Protocol.t) ~x1 ~x2 ?depth ?max_states ?allow_drops
+    ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?runstates
+    ?(symm = false) () =
+  let quotient =
+    (* Caller-supplied stores are tied to the literal inputs, so the
+       canonical rewrite only applies to self-contained searches
+       ({!search} canonicalises before building its shared stores). *)
+    match (runstates, if symm then p.Protocol.symmetry else None) with
+    | None, Some eq -> Some eq
+    | _ -> None
+  in
+  match quotient with
+  | None ->
+      search_pair_raw p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
+        ?max_sends_per_receiver ?max_seconds ?runstates ()
+  | Some eq ->
+      let m = infer_m [ x1; x2 ] in
+      let (cx1, cx2), pi = Symm.canon_pair ~m x1 x2 in
+      search_pair_raw p ~x1:cx1 ~x2:cx2 ?depth ?max_states ?allow_drops
+        ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ()
+      |> relabel_outcome eq pi ~x1 ~x2
+
+let search_single (p : Protocol.t) ~x ?depth ?max_states ?allow_drops
+    ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?(symm = false) () =
+  match (if symm then p.Protocol.symmetry else None) with
+  | None ->
+      search_single_raw p ~x ?depth ?max_states ?allow_drops ?max_sends_per_sender
+        ?max_sends_per_receiver ?max_seconds ()
+  | Some eq ->
+      let cx, pi = Symm.canon_seq ~m:(infer_m [ x ]) x in
+      search_single_raw p ~x:cx ?depth ?max_states ?allow_drops ?max_sends_per_sender
+        ?max_sends_per_receiver ?max_seconds ()
+      |> relabel_outcome eq pi ~x1:x ~x2:x
+
+let eligible_pairs ~xs =
   let rec pairs = function
     | [] -> []
     | x :: rest ->
@@ -689,6 +781,11 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
           rest
         @ pairs rest
   in
+  pairs xs
+
+let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
+    ?max_sends_per_receiver ?max_seconds ?jobs ?(symm = false) () =
+  let all_pairs = eligible_pairs ~xs in
   (* One transition store per distinct input, built up front and
      shared by every pair that input participates in: the α(m)² sweep
      computes each single-run (state, move) successor once per input
@@ -706,15 +803,63 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
         Hashtbl.add stores x rs;
         rs
   in
-  let tagged = List.map (fun (x1, x2) -> (x1, x2, store x1, store x2)) (pairs xs) in
   let outcomes =
-    Par.map ?jobs
-      (fun (x1, x2, rs1, rs2) ->
-        ( x1,
-          x2,
-          search_pair p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
-            ?max_sends_per_receiver ?max_seconds ~runstates:(rs1, rs2) () ))
-      tagged
+    match (if symm then p.Protocol.symmetry else None) with
+    | None ->
+        let tagged = List.map (fun (x1, x2) -> (x1, x2, store x1, store x2)) all_pairs in
+        Par.map ?jobs
+          (fun (x1, x2, rs1, rs2) ->
+            ( x1,
+              x2,
+              search_pair_raw p ~x1 ~x2 ?depth ?max_states ?allow_drops
+                ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds
+                ~runstates:(rs1, rs2) () ))
+          tagged
+    | Some eq ->
+        (* Orbit quotient: tag every eligible pair with its canonical
+           image and permutation, search only the first occurrence of
+           each canonical pair, and expand the representative outcomes
+           back over the full pair list in the original order — so the
+           report is shaped exactly like the unquotiented sweep's, and
+           the saved work is the whole point.  Stores are keyed by
+           *canonical* inputs, which also overlap far more than raw
+           inputs do. *)
+        let m = infer_m xs in
+        let tagged =
+          List.map
+            (fun (x1, x2) ->
+              let ckey, pi = Symm.canon_pair ~m x1 x2 in
+              (x1, x2, ckey, pi))
+            all_pairs
+        in
+        let rep_index : (int list * int list, int) Hashtbl.t = Hashtbl.create 16 in
+        let reps = ref [] in
+        List.iter
+          (fun (_, _, ckey, _) ->
+            if not (Hashtbl.mem rep_index ckey) then begin
+              Hashtbl.add rep_index ckey (Hashtbl.length rep_index);
+              reps := ckey :: !reps
+            end)
+          tagged;
+        let rep_tagged =
+          List.rev_map (fun ((cx1, cx2) as ck) -> (ck, store cx1, store cx2)) !reps
+        in
+        let rep_outcomes =
+          Array.make (Hashtbl.length rep_index) (No_violation { closed = false; states_explored = 0 })
+        in
+        List.iter2
+          (fun (ck, _, _) o -> rep_outcomes.(Hashtbl.find rep_index ck) <- o)
+          rep_tagged
+          (Par.map ?jobs
+             (fun ((cx1, cx2), rs1, rs2) ->
+               search_pair_raw p ~x1:cx1 ~x2:cx2 ?depth ?max_states ?allow_drops
+                 ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds
+                 ~runstates:(rs1, rs2) ())
+             rep_tagged);
+        List.map
+          (fun (x1, x2, ckey, pi) ->
+            (x1, x2, relabel_outcome eq pi ~x1 ~x2 rep_outcomes.(Hashtbl.find rep_index ckey)))
+          tagged
   in
   let first_witness =
     List.find_map (function _, _, Witness w -> Some w | _, _, No_violation _ -> None) outcomes

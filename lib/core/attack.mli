@@ -38,7 +38,17 @@
     starvation pass consumes the cached graph instead of
     re-simulating the closed table.  Single-run transitions are
     memoised per input in a {!Runstate} store that {!search} shares
-    across all pairs of a sweep. *)
+    across all pairs of a sweep.  BFS frontiers are chunked varint
+    queues ({!Stdx.Frontier}) of bare ids rather than boxed queues.
+
+    With [~symm:true], searches on protocols declaring an
+    {!Kernel.Symm.equivariance} are quotiented by data-alphabet
+    permutations: inputs are canonicalised by first-occurrence
+    relabelling before searching, {!search} searches one
+    representative per orbit of input pairs, and witness paths are
+    translated back through the inverse permutation.  Outcomes are
+    unchanged — up to m! of the work disappears.  See {!Kernel.Symm}
+    and DESIGN.md ("The symmetry quotient"). *)
 
 type joint_move =
   | Sync of Kernel.Move.t  (** receiver-visible; applied to both runs *)
@@ -125,6 +135,7 @@ val search_pair :
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
   ?runstates:Runstate.t * Runstate.t ->
+  ?symm:bool ->
   unit ->
   outcome
 (** [search_pair p ~x1 ~x2 ()] explores the joint system.
@@ -145,7 +156,11 @@ val search_pair :
     runs' transition stores (run 1's first) — pass stores shared with
     other pairs to reuse their memoised transitions, as {!search}
     does; when omitted, fresh private stores are created.  Sharing
-    never changes the outcome, only the work. *)
+    never changes the outcome, only the work.  [symm] (default
+    [false]) searches the canonical relabelling of [(x1, x2)] and
+    translates any witness back — a no-op unless the protocol
+    declares an equivariance; ignored when [runstates] is supplied
+    (caller stores are tied to the literal inputs). *)
 
 val search_single :
   Kernel.Protocol.t ->
@@ -156,13 +171,23 @@ val search_single :
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
+  ?symm:bool ->
   unit ->
   outcome
 (** Single-run safety search: BFS over *one* run's full adversary
     choice space for a reachable unsafe state.  Catches violations
     that need no confuser pair — e.g. duplication making the
     Alternating Bit receiver write a third item on a two-item input.
-    The witness's [x1 = x2 = x] and all moves are [Only1]. *)
+    The witness's [x1 = x2 = x] and all moves are [Only1].  [symm]
+    as in {!search_pair}. *)
+
+val eligible_pairs : xs:int list list -> (int list * int list) list
+(** The unordered pairs of distinct sequences in [xs] where neither is
+    a prefix of the other — exactly the pairs {!search} sweeps (prefix
+    pairs cannot produce safety witnesses: the shorter input is
+    consistent with everything the receiver sees).  Exposed so
+    experiments and benchmarks can report sweep sizes without
+    duplicating the eligibility rule. *)
 
 val search :
   Kernel.Protocol.t ->
@@ -174,19 +199,27 @@ val search :
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
   ?jobs:int ->
+  ?symm:bool ->
   unit ->
   (int list * int list * outcome) list * witness option
-(** Runs {!search_pair} on every unordered pair of distinct sequences
-    in [xs] where neither is a prefix of the other (prefix pairs
-    cannot produce safety witnesses — the shorter input is consistent
-    with everything the receiver sees).  Returns all per-pair
-    outcomes and the first witness found, if any.  One {!Runstate}
-    store per distinct input is shared across all its pairs, so each
-    single-run transition is simulated once per input rather than
-    once per pair.  [jobs] (default: [STP_JOBS] or 1) fans the
-    independent pair searches out over that many domains via
-    {!Par.map}; the stores are safely shared and the outcomes and
-    first witness are identical at every job count. *)
+(** Runs {!search_pair} on every pair in [eligible_pairs ~xs].
+    Returns all per-pair outcomes and the first witness found, if
+    any.  One {!Runstate} store per distinct input is shared across
+    all its pairs, so each single-run transition is simulated once
+    per input rather than once per pair.  [jobs] (default: [STP_JOBS]
+    or 1) fans the independent pair searches out over that many
+    domains via {!Par.map}; the stores are safely shared and the
+    outcomes and first witness are identical at every job count.
+
+    [symm] (default [false]), on a protocol declaring an
+    equivariance, searches one representative per orbit of eligible
+    pairs under joint first-occurrence canonicalisation and expands
+    the representative outcomes back over the full pair list in the
+    original order, relabelling witnesses through each member's
+    inverse permutation — the outcome list keeps exactly the
+    unquotiented sweep's shape while up to m! of the pair searches
+    are skipped.  Stores are then keyed by canonical inputs, which
+    collide (and so share) far more often than raw inputs. *)
 
 val run_moves : witness -> which:int -> Kernel.Move.t list
 (** Project the joint path onto one run's schedule ([which] ∈ {1,2}) —

@@ -70,6 +70,8 @@ let sample_protocol rng ~states =
         in
         Proc.make ~state:0 ~step:(run_sender_table table) ());
     make_receiver = (fun () -> Proc.make ~state:0 ~step:(run_receiver_table receiver_table) ());
+    (* Random lookup tables are identity-sensitive by construction. *)
+    symmetry = None;
   }
 
 let battery_spec =
@@ -133,6 +135,7 @@ let control =
             | Event.Deliver _ when not written -> (true, [ Action.Write 0 ])
             | Event.Deliver _ | Event.Wake -> (written, []))
           ());
+    symmetry = None;
   }
 
 let control_is_clean () =

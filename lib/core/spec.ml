@@ -47,14 +47,16 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
       (int, Global.t * int list * bool (* fully expanded *) * bool (* capped *)) Hashtbl.t =
     Hashtbl.create 4096
   in
-  let queue = Queue.create () in
+  (* (key, depth) pairs varint-packed into chunked buffers — no boxed
+     queue cells or tuples on the BFS hot path. *)
+  let queue = Stdx.Frontier.create () in
   let g0 = Global.initial p ~input:(Array.of_list input) in
   let key0 = gid g0 in
   Hashtbl.replace nodes key0 (g0, [], false, false);
-  Queue.push (key0, 0) queue;
+  Stdx.Frontier.push2 queue key0 0;
   let truncated = ref false in
-  while not (Queue.is_empty queue) do
-    let key, d = Queue.pop queue in
+  while not (Stdx.Frontier.is_empty queue) do
+    let key, d = Stdx.Frontier.pop2 queue in
     let g, _, _, _ = Hashtbl.find nodes key in
     if d >= depth then truncated := true
     else begin
@@ -76,7 +78,7 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
                 end
                 else begin
                   Hashtbl.replace nodes key' (g', [], false, false);
-                  Queue.push (key', d + 1) queue;
+                  Stdx.Frontier.push2 queue key' (d + 1);
                   Some key'
                 end
               end
@@ -99,24 +101,22 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
           Hashtbl.replace preds s (key :: Option.value ~default:[] (Hashtbl.find_opt preds s)))
         succs)
     nodes;
+  (* Interned ids are dense, so each mark set is a bitset — one bit per
+     state instead of a unit hash table entry. *)
   let mark seed_of =
-    let marked = Hashtbl.create 4096 in
-    let q = Queue.create () in
+    let marked = Stdx.Bitset.create ~size:(Hashtbl.length nodes) () in
+    let q = Stdx.Frontier.create () in
     Hashtbl.iter
       (fun key node ->
         if seed_of key node then begin
-          Hashtbl.replace marked key ();
-          Queue.push key q
+          ignore (Stdx.Bitset.add marked key : bool);
+          Stdx.Frontier.push q key
         end)
       nodes;
-    while not (Queue.is_empty q) do
-      let key = Queue.pop q in
+    while not (Stdx.Frontier.is_empty q) do
+      let key = Stdx.Frontier.pop q in
       List.iter
-        (fun p ->
-          if not (Hashtbl.mem marked p) then begin
-            Hashtbl.replace marked p ();
-            Queue.push p q
-          end)
+        (fun p -> if Stdx.Bitset.add marked p then Stdx.Frontier.push q p)
         (Option.value ~default:[] (Hashtbl.find_opt preds key))
     done;
     marked
@@ -128,8 +128,9 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
     (fun key (g, _, expanded, _) ->
       if Global.complete g then incr completed;
       if not expanded then incr frontier
-      else if (not (Hashtbl.mem can_complete key)) && not (Hashtbl.mem tainted key) then
-        incr dead)
+      else if
+        (not (Stdx.Bitset.mem can_complete key)) && not (Stdx.Bitset.mem tainted key)
+      then incr dead)
     nodes;
   {
     states = Hashtbl.length nodes;

@@ -25,10 +25,18 @@ let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
     Stdx.Intern.intern_bytes seen (Stdx.Codec.buffer scratch) ~pos:0
       ~len:(Stdx.Codec.length scratch)
   in
-  let queue = Queue.create () in
+  (* The frontier is a flat ring of states.  Depth needs no per-node
+     record: a strict BFS drains whole levels in order, so two
+     counters — states left in the current level, states queued for
+     the next — recover each popped state's depth without boxing a
+     [(state, depth)] tuple per node. *)
+  let frontier = Stdx.Ring.create () in
   let g0 = Global.initial p ~input in
   ignore (intern g0);
-  Queue.push (g0, 0) queue;
+  Stdx.Ring.push frontier g0;
+  let level = ref 0 in
+  let this_level = ref 1 in
+  let next_level = ref 0 in
   let transitions = ref 0 in
   let violations = ref 0 in
   let completes = ref 0 in
@@ -42,9 +50,15 @@ let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
   in
   if not (Global.safety_ok g0) then incr violations;
   if Global.complete g0 then incr completes;
-  while not (Queue.is_empty queue) do
-    let g, d = Queue.pop queue in
-    if d < depth then
+  while not (Stdx.Ring.is_empty frontier) do
+    if !this_level = 0 then begin
+      this_level := !next_level;
+      next_level := 0;
+      incr level
+    end;
+    let g = Stdx.Ring.pop frontier in
+    decr this_level;
+    if !level < depth then
       List.iter
         (fun move ->
           if move_filter g move then begin
@@ -56,7 +70,8 @@ let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
               if fresh then begin
                 if not (Global.safety_ok g') then incr violations;
                 if Global.complete g' then incr completes;
-                Queue.push (g', d + 1) queue
+                Stdx.Ring.push frontier g';
+                incr next_level
               end
             end
           end)

@@ -5,6 +5,7 @@ type t = {
   channel : Channel.Chan.kind;
   make_sender : input:int array -> Proc.t;
   make_receiver : unit -> Proc.t;
+  symmetry : Symm.equivariance option;
 }
 
 let validate_action ~is_sender ~alphabet action =

@@ -18,6 +18,13 @@ type t = {
   channel : Channel.Chan.kind;  (** the channel semantics the protocol targets *)
   make_sender : input:int array -> Proc.t;
   make_receiver : unit -> Proc.t;
+  symmetry : Symm.equivariance option;
+      (** [Some eq] declares the protocol equivariant under data-alphabet
+          permutations with [eq] lifting symbol permutations to wire
+          messages — the licence for the {!Symm} orbit quotients in the
+          attack sweeps.  [None] (protocols that inspect symbol
+          identities, e.g. via a code table) disables every symmetry
+          reduction for the protocol. *)
 }
 
 val validate_action : is_sender:bool -> alphabet:int -> Action.t -> (unit, string) result

@@ -58,9 +58,21 @@ let register_experiment ~id ~doc ~quick ~full =
   experiment_table :=
     !experiment_table @ [ { e_id = id; e_doc = doc; e_quick = quick; e_full = full } ]
 
-let experiment_ids () = List.map (fun e -> e.e_id) !experiment_table
+(* Registration order follows library link order (core's experiments
+   initialise before the fault layer's), so the listing sorts E<n> ids
+   numerically to keep the E1..En story in reading order regardless of
+   which library contributed which entry. *)
+let experiment_order e =
+  if String.length e.e_id > 1 && e.e_id.[0] = 'E' then
+    match int_of_string_opt (String.sub e.e_id 1 (String.length e.e_id - 1)) with
+    | Some n -> (n, e.e_id)
+    | None -> (max_int, e.e_id)
+  else (max_int, e.e_id)
 
-let experiments () = !experiment_table
+let experiments () =
+  List.sort (fun a b -> compare (experiment_order a) (experiment_order b)) !experiment_table
+
+let experiment_ids () = List.map (fun e -> e.e_id) (experiments ())
 
 let find_experiment id =
   let id = String.lowercase_ascii id in

@@ -52,6 +52,17 @@ let protocol_on channel ~domain =
     make_receiver =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; expected = 0; started = false } ~step:receiver_step ());
+    (* Forward messages are (bit, data) with the data slot generic;
+       acknowledgements carry only the bit. *)
+    symmetry =
+      Some
+        {
+          Symm.on_sender_msg =
+            (fun pi m ->
+              let bit, data = decode_msg ~domain m in
+              encode_msg ~domain ~bit ~data:(pi data));
+          on_receiver_msg = (fun _ bit -> bit);
+        };
   }
 
 let protocol ~domain = protocol_on Channel.Chan.Fifo_lossy ~domain

@@ -67,6 +67,8 @@ let make ~name ~channel ~m ~xs =
               Proc.make
                 ~state:{ node = Codes.root code; seen = IntSet.empty; last = None }
                 ~step:(receiver_step code) ());
+          (* The code table inspects symbol identities: not equivariant. *)
+          symmetry = None;
         }
 
 let dup ~m ~xs =

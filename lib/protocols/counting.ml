@@ -22,6 +22,9 @@ let protocol_on channel ~domain =
     make_sender =
       (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:oneshot_sender_step ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:oneshot_receiver_step ());
+    (* Data symbols on the wire; the receiver never sends. *)
+    symmetry =
+      Some { Symm.on_sender_msg = (fun pi m -> pi m); on_receiver_msg = (fun _ m -> m) };
   }
 
 (* Retransmitting variant: wait for an echo of the current item before
@@ -56,6 +59,8 @@ let resend channel ~domain =
     make_sender = (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:resend_sender_step ());
     make_receiver =
       (fun () -> Proc.make ~state:{ last_written = None } ~step:resend_receiver_step ());
+    (* Echo acknowledgements carry the data symbol itself. *)
+    symmetry = Some Symm.data_messages;
   }
 
 let () =

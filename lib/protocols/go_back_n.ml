@@ -70,6 +70,7 @@ let protocol_on channel ~domain ~window =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; r_modulus = modulus; expected = 0 }
           ~step:receiver_step ());
+    symmetry = None;
   }
 
 let protocol ~domain ~window = protocol_on Channel.Chan.Fifo_lossy ~domain ~window

@@ -131,6 +131,7 @@ let protocol ~xset ~domain ~drop_budget ?(timeout = 8) () =
               decoded = false;
             }
           ~step:(receiver_step xset) ());
+    symmetry = None;
   }
 
 let () =

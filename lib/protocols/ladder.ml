@@ -70,6 +70,8 @@ let protocol ~xset ~drop_budget =
     make_receiver =
       (fun () ->
         Proc.make ~state:{ r_w = w; got_a = 0; decoded = false } ~step:(receiver_step xset) ());
+    (* Encodes the input's rank in the allowable set: identity-sensitive. *)
+    symmetry = None;
   }
 
 let expected_learning_steps ~xset ~drop_budget x =

@@ -39,6 +39,10 @@ let make ~name ~channel ~m =
       (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:sender_step ());
     make_receiver =
       (fun () -> Proc.make ~state:{ seen = IntSet.empty; last = None } ~step:receiver_step ());
+    (* Messages on both channels are bare data symbols, and both step
+       functions compare symbols only for equality/membership — the
+       textbook equivariant protocol. *)
+    symmetry = Some Symm.data_messages;
   }
 
 let dup ~m = make ~name:(Printf.sprintf "norep-dup(m=%d)" m) ~channel:Channel.Chan.Reorder_dup ~m

@@ -119,6 +119,7 @@ let protocol_mod channel ~domain ~window ~modulus =
               buffer = IntMap.empty;
             }
           ~step:receiver_step ());
+    symmetry = None;
   }
 
 let protocol ~domain ~window =

@@ -21,6 +21,8 @@ let protocol ~domain =
     channel = Channel.Chan.Perfect;
     make_sender = (fun ~input -> Proc.make ~state:{ input; next = 0 } ~step:sender_step ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:receiver_step ());
+    symmetry =
+      Some { Symm.on_sender_msg = (fun pi m -> pi m); on_receiver_msg = (fun _ m -> m) };
   }
 
 let () =

@@ -73,6 +73,19 @@ let varint_at s off =
   in
   go 0 0 off
 
+let varint_at_bytes b off =
+  let n = Bytes.length b in
+  let rec go z shift off =
+    if off >= n then invalid_arg "Codec.varint_at_bytes: truncated varint"
+    else begin
+      let c = Char.code (Bytes.unsafe_get b off) in
+      let z = z lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then ((z lsr 1) lxor (-(z land 1)), off + 1)
+      else go z (shift + 7) (off + 1)
+    end
+  in
+  go 0 0 off
+
 let blob_at s off =
   let len, off = varint_at s off in
   if len < 0 || off + len > String.length s then invalid_arg "Codec.blob_at: truncated blob"

@@ -70,6 +70,10 @@ val varint_at : string -> int -> int * int
     [(value, next_offset)].
     @raise Invalid_argument on a truncated varint. *)
 
+val varint_at_bytes : Bytes.t -> int -> int * int
+(** Like {!varint_at} but reads a live writer's {!buffer} in place —
+    the {!Frontier} decode path, which must not copy the chunk out. *)
+
 val blob_at : string -> int -> string * int
 (** Decode a length-prefixed blob; returns [(blob, next_offset)].
     @raise Invalid_argument on a truncated blob. *)

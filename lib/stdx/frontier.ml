@@ -1,0 +1,90 @@
+(* A FIFO of ints, varint-packed into a rotating pool of codec chunks.
+
+   The joint attack BFS used to queue boxed [(int * int)] keys through
+   [Stdlib.Queue]: six words of cell + tuple per enqueue, all of it
+   minor-GC traffic scanned on every collection.  Here each pushed int
+   is a zigzag varint appended to the current write chunk (typically
+   1–2 bytes for interned ids); exhausted read chunks are reset and
+   recycled as future write chunks, so a search's whole frontier
+   traffic reuses a handful of fixed buffers. *)
+
+type t = {
+  chunk_bytes : int;
+  mutable rd : Codec.t;  (* chunk being consumed *)
+  mutable rpos : int;  (* read offset into [rd] *)
+  mutable wr : Codec.t;  (* chunk being filled; always distinct from [rd] *)
+  pending : Codec.t Ring.t;  (* full chunks between [rd] and [wr] *)
+  mutable free : Codec.t list;  (* drained chunks awaiting reuse *)
+  mutable len : int;  (* ints stored *)
+}
+
+let create ?(chunk_bytes = 8192) () =
+  {
+    chunk_bytes;
+    rd = Codec.create ~size:chunk_bytes ();
+    rpos = 0;
+    wr = Codec.create ~size:chunk_bytes ();
+    pending = Ring.create ();
+    free = [];
+    len = 0;
+  }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let push t v =
+  if Codec.length t.wr >= t.chunk_bytes then begin
+    Ring.push t.pending t.wr;
+    t.wr <-
+      (match t.free with
+      | c :: rest ->
+          t.free <- rest;
+          c
+      | [] -> Codec.create ~size:t.chunk_bytes ())
+  end;
+  Codec.add_varint t.wr v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Frontier.pop: empty";
+  if t.rpos >= Codec.length t.rd then begin
+    (* [rd] is drained: recycle it and move to the next chunk in FIFO
+       order — the oldest pending chunk, or the write chunk itself when
+       nothing is pending (then the roles swap). *)
+    Codec.reset t.rd;
+    if Ring.is_empty t.pending then begin
+      let drained = t.rd in
+      t.rd <- t.wr;
+      t.wr <- drained
+    end
+    else begin
+      t.free <- t.rd :: t.free;
+      t.rd <- Ring.pop t.pending
+    end;
+    t.rpos <- 0
+  end;
+  let v, rpos = Codec.varint_at_bytes (Codec.buffer t.rd) t.rpos in
+  t.rpos <- rpos;
+  t.len <- t.len - 1;
+  v
+
+let push2 t a b =
+  push t a;
+  push t b
+
+let pop2 t =
+  let a = pop t in
+  let b = pop t in
+  (a, b)
+
+let clear t =
+  Codec.reset t.rd;
+  Codec.reset t.wr;
+  t.rpos <- 0;
+  t.len <- 0;
+  while not (Ring.is_empty t.pending) do
+    let c = Ring.pop t.pending in
+    Codec.reset c;
+    t.free <- c :: t.free
+  done

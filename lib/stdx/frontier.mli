@@ -1,0 +1,36 @@
+(** Chunked, compactly-encoded FIFO of ints for BFS frontiers.
+
+    The attack searches queue interned state ids — small ints — and a
+    boxed queue spends an order of magnitude more memory on cells and
+    tuples than the payload needs.  A [Frontier.t] varint-packs pushed
+    ints into fixed-size {!Codec} chunks and recycles each chunk once
+    drained, so steady-state BFS traffic costs ~1–2 bytes per id and
+    reuses a small rotating pool of buffers instead of allocating per
+    node.  FIFO order is preserved exactly; the joint searches push and
+    pop ids in pairs via {!push2}/{!pop2}. *)
+
+type t
+
+val create : ?chunk_bytes:int -> unit -> t
+(** Fresh empty frontier; chunks hold [chunk_bytes] (default 8192)
+    bytes of encoded ids before rotating. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of ints currently queued. *)
+
+val push : t -> int -> unit
+
+val pop : t -> int
+(** Dequeue the oldest int.
+    @raise Invalid_argument when empty. *)
+
+val push2 : t -> int -> int -> unit
+(** Enqueue a pair (first then second) — the joint-key convenience. *)
+
+val pop2 : t -> int * int
+(** Dequeue a pair pushed by {!push2}. *)
+
+val clear : t -> unit
+(** Drop all queued ints, keeping the chunk pool for reuse. *)

@@ -15,6 +15,24 @@ no witness, and the artifact still validates):
   $ stp validate attack.json
   attack.json: valid report artifact, 1 report(s), schema version 1
 
+The E14 artifact — the full m=4 all-pairs sweep through the symmetry
+quotient, with ok=true load-bearing (any non-closed pair or witness
+would flip it and fail validation).  Its bytes embed a wall-clock
+measurement, so the pin is the schema + verdict gate, not a digest:
+
+  $ stp experiments --quick --only E14 --json e14.json > /dev/null
+  $ stp validate e14.json
+  e14.json: valid report artifact, 1 report(s), schema version 1
+
+A symmetry-quotiented sweep writes the same artifact shape as a plain
+one, and the quotient is invisible to the report consumer:
+
+  $ stp attack -p norep -d 2 --symm -x 0,1 -x 1,0 -x 0 -x 1 --json symm.json > /dev/null
+  $ stp attack -p norep -d 2 -x 0,1 -x 1,0 -x 0 -x 1 --json nosymm.json > /dev/null
+  $ cmp symm.json nosymm.json
+  $ stp validate symm.json
+  symm.json: valid report artifact, 1 report(s), schema version 1
+
 The alpha table, plus the CSV renderer on stdout:
 
   $ stp alpha -m 3 --format csv --json alpha.json

@@ -90,6 +90,7 @@ let tiny channel =
             | Event.Deliver d -> ((), [ Action.Write d ])
             | Event.Wake -> ((), []))
           ());
+    symmetry = None;
   }
 
 let bad_sender_writes =
@@ -102,6 +103,7 @@ let bad_sender_writes =
       (fun ~input:_ ->
         Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Write 0 ])) ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
+    symmetry = None;
   }
 
 let bad_alphabet =
@@ -113,6 +115,7 @@ let bad_alphabet =
     make_sender =
       (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Send 7 ])) ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
+    symmetry = None;
   }
 
 (* ------------------------- Global / Sim ------------------------- *)
@@ -195,6 +198,7 @@ let test_wake_only_complete_detects_deadlock () =
       make_sender =
         (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
+      symmetry = None;
     }
   in
   let g = Global.initial inert ~input:[| 0 |] in
@@ -227,6 +231,7 @@ let test_runner_budget () =
         (* Sends forever so the system is never quiescent. *)
         (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Send 0 ])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
+      symmetry = None;
     }
   in
   let r =
@@ -245,6 +250,7 @@ let test_runner_quiescent () =
       channel = Chan.Perfect;
       make_sender = (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
+      symmetry = None;
     }
   in
   let r =

@@ -89,6 +89,31 @@ let test_attack_jobs_invariant () =
         (render r1) (render r))
     [ 2; 4; 7 ]
 
+let test_attack_symm_jobs_invariant () =
+  (* The symmetry-quotiented sweep adds a layer on top: representatives
+     fan out over domains and outcomes are expanded back per pair.
+     Par.map's order preservation must make the expanded list — and its
+     rendered report — bit-identical at every job count, and identical
+     to the unquotiented sweep. *)
+  let p = Protocols.Norep.del ~m:3 in
+  let xs = Seqspace.Norep.enumerate ~m:3 in
+  let run ~symm jobs =
+    Core.Attack.search p ~xs ~depth:200 ~max_sends_per_sender:3 ~max_sends_per_receiver:3
+      ~symm ~jobs ()
+  in
+  let render (outcomes, w) =
+    Stdx.Json.to_string (Stdx.Report.to_json (Core.Attack.search_report outcomes w))
+  in
+  let r1 = run ~symm:true 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "symm sweep identical at jobs=%d" jobs)
+        (render r1)
+        (render (run ~symm:true jobs)))
+    [ 2; 4; 7 ];
+  check Alcotest.string "symm report = plain report" (render (run ~symm:false 1)) (render r1)
+
 let () =
   Alcotest.run "par"
     [
@@ -107,5 +132,6 @@ let () =
           Alcotest.test_case "proba" `Quick test_proba_jobs_invariant;
           Alcotest.test_case "bounds" `Quick test_bounds_jobs_invariant;
           Alcotest.test_case "attack sweep" `Quick test_attack_jobs_invariant;
+          Alcotest.test_case "symm attack sweep" `Quick test_attack_symm_jobs_invariant;
         ] );
     ]
