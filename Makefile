@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test report-schema soak-smoke bench bench-smoke bench-artifact perf-gate clean
+.PHONY: all verify test report-schema soak-smoke serve-smoke bench bench-smoke bench-artifact perf-gate clean
 
 all:
 	dune build
@@ -14,6 +14,7 @@ verify:
 	dune runtest
 	$(MAKE) report-schema
 	$(MAKE) soak-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) perf-gate
 
 # The report-schema gate, standalone: produce --json artifacts from
@@ -23,9 +24,11 @@ report-schema:
 	_build/default/bin/stp_cli.exe experiments --quick --only E1 --json _build/stp_exp.json > /dev/null
 	_build/default/bin/stp_cli.exe attack -p norep -d 2 --json _build/stp_attack.json > /dev/null
 	_build/default/bin/stp_cli.exe soak --seed 5 --random-plans 1 --json _build/stp_soak.json > /dev/null
+	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --json _build/stp_serve.json > /dev/null
 	_build/default/bin/stp_cli.exe validate _build/stp_exp.json
 	_build/default/bin/stp_cli.exe validate _build/stp_attack.json
 	_build/default/bin/stp_cli.exe validate _build/stp_soak.json
+	_build/default/bin/stp_cli.exe validate _build/stp_serve.json
 
 # A tiny fault-injection battery: run it, validate its artifact, and
 # require the scripted scenarios to have produced recovery verdicts.
@@ -33,6 +36,18 @@ soak-smoke:
 	dune build bin/stp_cli.exe
 	_build/default/bin/stp_cli.exe soak --seed 5 --random-plans 1 --json _build/stp_soak_smoke.json
 	_build/default/bin/stp_cli.exe validate _build/stp_soak_smoke.json
+
+# The serve daemon end to end: execute the committed example batch
+# (three clean jobs plus a fault-plan job), validate its artifact, and
+# pin the determinism contract — per-job results bit-identical across
+# job counts and timeslices.
+serve-smoke:
+	dune build bin/stp_cli.exe
+	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --json _build/stp_serve_smoke.json > /dev/null
+	_build/default/bin/stp_cli.exe validate _build/stp_serve_smoke.json
+	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --results-only --jobs 1 --json _build/stp_serve_j1.json > /dev/null
+	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --results-only --jobs 4 --timeslice 7 --json _build/stp_serve_j4.json > /dev/null
+	cmp _build/stp_serve_j1.json _build/stp_serve_j4.json
 
 test: verify
 
@@ -46,11 +61,11 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --micro --quota 0.05 --json BENCH_smoke.json
 
-# The committed perf baseline (BENCH_PR6.json): a real-quota timing
+# The committed perf baseline (BENCH_PR7.json): a real-quota timing
 # artifact checked into the repo so future changes can be compared
 # against it with `make perf-gate`.
 bench-artifact:
-	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR6.json
+	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR7.json
 
 # Enforcing perf gate: run three independent timing passes and diff
 # the per-benchmark minimum against the committed baseline with a
@@ -64,7 +79,7 @@ perf-gate:
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest1.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest2.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest3.json
-	_build/default/bench/perf_gate.exe BENCH_PR6.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
+	_build/default/bench/perf_gate.exe BENCH_PR7.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
 
 clean:
 	dune clean

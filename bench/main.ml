@@ -252,6 +252,33 @@ let soak_workload =
   let cases = lazy (Faults.Soak.default_battery ~random_plans:1 ~seed:5 ()) in
   fun () -> ignore (Faults.Soak.run ~jobs:1 ~seed:5 (Lazy.force cases))
 
+(* The event-queue scheduler at batch scale: a 1k-session mixed
+   battery (three protocols × stateless strategies × split seeds)
+   timesliced through one queue.  Sessions are rebuilt every iteration
+   (a session is consumed by the run that retires it), so the number
+   is admit + timeslice + retire throughput, single-domain — the
+   per-shard work `stp serve` multiplies across the pool. *)
+let sched_batch_workload =
+  let abp = Protocols.Abp.protocol ~domain:2 in
+  let norep = Protocols.Norep.del ~m:2 in
+  let counting = Protocols.Counting.resend Channel.Chan.Reorder_dup ~domain:2 in
+  fun () ->
+    let sessions =
+      List.init 1_000 (fun i ->
+          let p, input =
+            match i mod 3 with
+            | 0 -> (abp, [| 0; 1 |])
+            | 1 -> (norep, [| 1; 0 |])
+            | _ -> (counting, [| 0; 1 |])
+          in
+          let strategy =
+            if i mod 2 = 0 then Kernel.Strategy.round_robin else Kernel.Strategy.fair_random ()
+          in
+          Kernel.Sched.session p ~input ~strategy ~rng:(Stdx.Rng.create (i + 1)) ~max_steps:100
+            ())
+    in
+    ignore (Kernel.Sched.run sessions : Kernel.Sched.result list)
+
 let benches =
   [
     ("e1_alpha_tightness", e1_workload);
@@ -267,6 +294,7 @@ let benches =
     ("e11_nested_knowledge", e11_workload);
     ("e12_recoverability", e12_workload);
     ("soak_battery", soak_workload);
+    ("sched_batch", sched_batch_workload);
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);
     ("sweep_allpairs_symm", sweep_symm_workload);

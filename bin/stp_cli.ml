@@ -11,6 +11,8 @@
      census       sample random protocols at m=1 (E9)
      experiments  run the E1-E14 reproduction experiments
      soak         fault-injection soak battery with recovery verdicts
+     serve        batch daemon over the event-queue scheduler: JSON job
+                  specs in, report artifacts + cumulative telemetry out
      validate     check a --json artifact against the report schema
                   (exits non-zero when any report carries ok=false)
 
@@ -106,21 +108,7 @@ let strategy_arg =
            ~doc:"Schedule: fair-random, round-robin, newest-first, dup-flood, drop:P (e.g. \
                  drop:0.2 over fair-random), drop-first:N.")
 
-let build_strategy s =
-  match String.split_on_char ':' s with
-  | [ "fair-random" ] -> Ok (Strategy.fair_random ())
-  | [ "round-robin" ] -> Ok Strategy.round_robin
-  | [ "newest-first" ] -> Ok Strategy.newest_first
-  | [ "dup-flood" ] -> Ok (Strategy.dup_flood ())
-  | [ "drop"; p ] -> (
-      match float_of_string_opt p with
-      | Some p -> Ok (Strategy.drop_rate p (Strategy.fair_random ()))
-      | None -> Error "drop:P needs a float probability")
-  | [ "drop-first"; n ] -> (
-      match int_of_string_opt n with
-      | Some n -> Ok (Strategy.drop_first n (Strategy.fair_random ()))
-      | None -> Error "drop-first:N needs an integer")
-  | _ -> Error (Printf.sprintf "unknown strategy %S" s)
+let build_strategy = Strategy.of_string
 
 (* ---------------- report output ---------------- *)
 
@@ -382,7 +370,7 @@ let knowledge_cmd =
 
 (* ---------------- verify ---------------- *)
 
-let verify_run protocol config seeds max_steps max_failures json =
+let verify_run protocol config seeds max_steps max_failures jobs json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* p = Registry.build_protocol ~name:protocol config in
   let xs =
@@ -393,7 +381,7 @@ let verify_run protocol config seeds max_steps max_failures json =
            { domain = config.Registry.domain; max_len = config.Registry.max_len })
   in
   let spec = Core.Harness.default_spec ~max_steps ~n_seeds:seeds () in
-  let report = Core.Harness.verify p ~xs ?max_failures spec in
+  let report = Core.Harness.verify p ~xs ?max_failures ~jobs spec in
   Format.printf "%a@." Core.Harness.pp_report report;
   List.iteri
     (fun i f ->
@@ -424,7 +412,7 @@ let verify_cmd =
     Term.(
       ret
         (const verify_run $ protocol_arg $ config_term $ seeds $ max_steps_arg $ max_failures
-       $ json_arg))
+       $ jobs_arg $ json_arg))
 
 (* ---------------- recover ---------------- *)
 
@@ -554,6 +542,113 @@ let soak_cmd =
         (const soak_run $ seed_arg $ jobs_arg $ random_plans $ max_seconds $ format_arg
        $ json_arg))
 
+(* ---------------- serve ---------------- *)
+
+let serve_run once spool jobs timeslice results_only poll_seconds max_batches idle_exit format
+    json =
+  match (once, spool) with
+  | None, None | Some _, Some _ ->
+      `Error (true, "serve needs exactly one of --once FILE or --spool DIR")
+  | Some path, None -> (
+      (* Drain one batch file and exit: the cram-testable path. *)
+      match Serve.load_batch path with
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+      | Ok batch -> (
+          let t0 = Unix.gettimeofday () in
+          let outcomes, stats = Serve.run_batch ~jobs ~timeslice batch in
+          let telemetry =
+            Serve.observe Serve.telemetry_zero stats
+              ~wall_seconds:(Unix.gettimeofday () -. t0)
+          in
+          let results = Serve.results_report ~label:(Filename.basename path) outcomes in
+          let telemetry_r = Serve.telemetry_report telemetry in
+          let art = Serve.artifact ~results_only ~results ~telemetry:telemetry_r () in
+          let shown = if results_only then [ results ] else [ results; telemetry_r ] in
+          (match format with
+          | `Text -> List.iter (fun r -> print_string (Report.to_text r)) shown
+          | `Json ->
+              print_string (Stdx.Json.to_string art);
+              print_newline ()
+          | `Csv -> List.iter (fun r -> print_string (Report.to_csv r)) shown);
+          match json with
+          | None -> `Ok ()
+          | Some out -> (
+              match write_artifact out art with
+              | Ok () -> `Ok ()
+              | Error e -> `Error (false, e))))
+  | None, Some dir -> (
+      match
+        Serve.spool ~jobs ~timeslice ~poll_seconds ?max_batches ?idle_exit ~dir ()
+      with
+      | Error e -> `Error (false, e)
+      | Ok telemetry ->
+          print_string (Report.to_text (Serve.telemetry_report telemetry));
+          `Ok ())
+
+let serve_cmd =
+  let once =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "once" ] ~docv:"FILE"
+          ~doc:"Execute one JSON batch file as a scheduler batch, emit its artifact, and exit.")
+  in
+  let spool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Run as a daemon: poll $(docv) for $(b,*.json) batch files, execute each, write \
+             $(b,<name>.report.json) beside it (with cumulative telemetry), and rename the \
+             input to $(b,<name>.json.done).")
+  in
+  let timeslice =
+    Arg.(
+      value
+      & opt int Kernel.Sched.default_timeslice
+      & info [ "timeslice" ]
+          ~doc:
+            "Simulation steps one session may take per scheduler tick.  Results are identical \
+             at every value; this only tunes fairness granularity.")
+  in
+  let results_only =
+    Arg.(
+      value & flag
+      & info [ "results-only" ]
+          ~doc:
+            "Omit the telemetry report from the artifact, leaving only the deterministic \
+             per-job results — artifacts then compare byte-identical across --jobs counts.")
+  in
+  let poll_seconds =
+    Arg.(value & opt float 0.5 & info [ "poll-seconds" ] ~doc:"Spool-directory poll interval.")
+  in
+  let max_batches =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-batches" ] ~doc:"Exit the daemon after $(docv) batches." ~docv:"N")
+  in
+  let idle_exit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-exit" ]
+          ~doc:"Exit the daemon after $(docv) seconds with no batch file to process."
+          ~docv:"SECONDS")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Timeslice many sessions per domain behind a batch daemon: read JSON job specs \
+          (protocol x channel x plan x budget), execute them on the event-queue scheduler \
+          sharded over --jobs domains, and stream report-IR artifacts with cumulative \
+          telemetry.")
+    Term.(
+      ret
+        (const serve_run $ once $ spool $ jobs_arg $ timeslice $ results_only $ poll_seconds
+       $ max_batches $ idle_exit $ format_arg $ json_arg))
+
 (* ---------------- validate ---------------- *)
 
 let validate_run path =
@@ -608,5 +703,6 @@ let () =
             census_cmd;
             experiments_cmd;
             soak_cmd;
+            serve_cmd;
             validate_cmd;
           ]))

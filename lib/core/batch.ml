@@ -1,0 +1,38 @@
+module Sched = Kernel.Sched
+
+let shard ~jobs xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then [ xs ]
+  else begin
+    let k = min jobs n in
+    let base = n / k and extra = n mod k in
+    let rec take k xs =
+      if k = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> ([], [])
+        | x :: tl ->
+            let hd, rest = take (k - 1) tl in
+            (x :: hd, rest)
+    in
+    let rec go i xs acc =
+      if i = k then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let hd, rest = take size xs in
+        go (i + 1) rest (hd :: acc)
+      end
+    in
+    go 0 xs []
+  end
+
+let run_stats ?jobs ?timeslice sessions =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  match shard ~jobs sessions with
+  | [ one ] -> Sched.run_stats ?timeslice one
+  | shards ->
+      let parts = Par.map ~jobs (Sched.run_stats ?timeslice) shards in
+      ( List.concat_map fst parts,
+        List.fold_left (fun acc (_, s) -> Sched.stats_merge acc s) Sched.stats_zero parts )
+
+let run ?jobs ?timeslice sessions = fst (run_stats ?jobs ?timeslice sessions)

@@ -1,0 +1,31 @@
+(** Scheduler batches sharded over the domain pool.
+
+    {!Kernel.Sched} timeslices many sessions inside one domain; this
+    module is the multicore face: split a session list into [jobs]
+    contiguous shards, drive each shard as its own scheduler queue on
+    a {!Par} worker, and concatenate the results back in input order.
+    Because sessions are independent (see the determinism note in
+    {!Kernel.Sched}), every job count and every timeslice produces the
+    identical result list — the deterministic-interleaving tests pin
+    jobs 1/2/4/7 against sequential {!Kernel.Runner.run} calls.
+
+    Job count resolution matches {!Par.map}: an explicit [~jobs] wins,
+    otherwise [STP_JOBS], otherwise 1.  Like [Par.map], batches are
+    not nestable — a task already running on the pool must pass
+    [~jobs:1] (as {!Harness.verify} defaults to, since {!Census} calls
+    it from inside a sweep). *)
+
+val shard : jobs:int -> 'a list -> 'a list list
+(** Split into at most [jobs] contiguous runs whose lengths differ by
+    at most one, preserving order; [List.concat (shard ~jobs xs) = xs].
+    Exposed for engines that need chunk-aligned bookkeeping. *)
+
+val run_stats :
+  ?jobs:int ->
+  ?timeslice:int ->
+  Kernel.Sched.session list ->
+  Kernel.Sched.result list * Kernel.Sched.stats
+(** Results in input order plus the merged telemetry of all shards. *)
+
+val run :
+  ?jobs:int -> ?timeslice:int -> Kernel.Sched.session list -> Kernel.Sched.result list

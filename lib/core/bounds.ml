@@ -9,18 +9,23 @@ type measurement = {
 }
 
 let measure p ~xs ~strategy ~seeds ~max_steps ?(post_roll = 40) ?jobs () =
-  (* Each (input, seed) run is independent — own rng, stateless
-     strategy — so the simulation sweep fans out over domains; the
-     universe build below stays sequential. *)
-  let runs =
-    Par.map ?jobs
+  (* Each (input, seed) run is an independent scheduler session — own
+     rng, stateless strategy — so the simulation sweep runs as one
+     batch sharded over domains; the universe build below stays
+     sequential. *)
+  let cells = List.concat_map (fun input -> List.map (fun seed -> (input, seed)) seeds) xs in
+  let sessions =
+    List.map
       (fun (input, seed) ->
-        let r =
-          Runner.run p ~input:(Array.of_list input) ~strategy
-            ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ()
-        in
-        (input, r.Runner.trace))
-      (List.concat_map (fun input -> List.map (fun seed -> (input, seed)) seeds) xs)
+        Kernel.Sched.session p ~input:(Array.of_list input) ~strategy
+          ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ())
+      cells
+  in
+  let runs =
+    List.map2
+      (fun (input, _) (r : Runner.result) -> (input, r.Runner.trace))
+      cells
+      (Batch.run ?jobs sessions)
   in
   let universe = Knowledge.Universe.of_traces (List.map snd runs) in
   List.mapi

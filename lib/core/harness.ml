@@ -48,43 +48,59 @@ let verify_one p ~input spec =
         spec.seeds)
     spec.strategies
 
-let verify (p : Kernel.Protocol.t) ~xs ?max_failures spec =
+let verify (p : Kernel.Protocol.t) ~xs ?max_failures ?(jobs = 1) spec =
+  (* All (input, strategy, seed) cells become one scheduler batch; the
+     fold below walks the results in the historical nested-loop order,
+     so counts, stats, and the chronological failure list are
+     unchanged.  [jobs] defaults to 1 (not [STP_JOBS]) because
+     {!Census} calls verify from inside a [Par.map] task and batches
+     do not nest; pass an explicit [~jobs] to fan out. *)
+  let cells =
+    List.concat_map
+      (fun input ->
+        List.concat_map
+          (fun strategy -> List.map (fun seed -> (input, strategy, seed)) spec.seeds)
+          spec.strategies)
+      xs
+  in
+  let sessions =
+    List.map
+      (fun (input, strategy, seed) ->
+        Kernel.Sched.session p ~input:(Array.of_list input) ~strategy
+          ~rng:(Stdx.Rng.create seed) ~max_steps:spec.max_steps ())
+      cells
+  in
+  let results = Batch.run ~jobs sessions in
   let runs = ref 0 and safe = ref 0 and complete = ref 0 and audit_bad = ref 0 in
   (* Failures are kept in chronological order; [max_failures] caps how
      many are *stored* (the earliest ones), never how many are
      counted. *)
   let failures = ref [] and stored = ref 0 and failures_total = ref 0 in
   let steps = ref [] and messages = ref [] and per_item = ref [] in
-  List.iter
-    (fun input ->
-      List.iter
-        (fun strategy ->
-          List.iter
-            (fun seed ->
-              let v, audit_ok = run_one p ~input ~strategy ~seed ~max_steps:spec.max_steps in
-              if not audit_ok then incr audit_bad;
-              incr runs;
-              if v.Verdict.safe then incr safe;
-              if v.Verdict.complete then incr complete;
-              if Verdict.all_good v then begin
-                steps := float_of_int v.Verdict.steps :: !steps;
-                messages := float_of_int v.Verdict.messages :: !messages;
-                let n = List.length input in
-                if n > 0 then
-                  per_item := (float_of_int v.Verdict.messages /. float_of_int n) :: !per_item
-              end
-              else begin
-                incr failures_total;
-                if match max_failures with Some cap -> !stored < cap | None -> true then begin
-                  incr stored;
-                  failures :=
-                    { input; strategy_name = strategy.Strategy.name; seed; verdict = v }
-                    :: !failures
-                end
-              end)
-            spec.seeds)
-        spec.strategies)
-    xs;
+  List.iter2
+    (fun (input, strategy, seed) (result : Runner.result) ->
+      let v = Verdict.of_result result in
+      let audit_ok = (Kernel.Audit.run result.Runner.trace).Kernel.Audit.ok in
+      if not audit_ok then incr audit_bad;
+      incr runs;
+      if v.Verdict.safe then incr safe;
+      if v.Verdict.complete then incr complete;
+      if Verdict.all_good v then begin
+        steps := float_of_int v.Verdict.steps :: !steps;
+        messages := float_of_int v.Verdict.messages :: !messages;
+        let n = List.length input in
+        if n > 0 then
+          per_item := (float_of_int v.Verdict.messages /. float_of_int n) :: !per_item
+      end
+      else begin
+        incr failures_total;
+        if match max_failures with Some cap -> !stored < cap | None -> true then begin
+          incr stored;
+          failures :=
+            { input; strategy_name = strategy.Strategy.name; seed; verdict = v } :: !failures
+        end
+      end)
+    cells results;
   {
     protocol_name = p.Kernel.Protocol.name;
     runs = !runs;

@@ -43,11 +43,17 @@ type report = {
   messages_per_item : Stdx.Stats.summary option;
 }
 
-val verify : Kernel.Protocol.t -> xs:int list list -> ?max_failures:int -> spec -> report
-(** Every input × strategy × seed.  [max_failures] caps how many
-    failure records are retained (the earliest ones); the
-    [failures_total] count and the [clean] verdict are unaffected, and
-    {!to_report} notes the truncation. *)
+val verify :
+  Kernel.Protocol.t -> xs:int list list -> ?max_failures:int -> ?jobs:int -> spec -> report
+(** Every input × strategy × seed, executed as one {!Batch} of
+    scheduler sessions; results are folded in the historical
+    chronological order, so the report is bit-identical at every
+    [jobs] count.  [jobs] defaults to 1 — {e not} [STP_JOBS] — because
+    {!Census} runs verify from inside a [Par.map] task and batches do
+    not nest; pass [~jobs] explicitly (the CLI's [--jobs]) to fan out.
+    [max_failures] caps how many failure records are retained (the
+    earliest ones); the [failures_total] count and the [clean] verdict
+    are unaffected, and {!to_report} notes the truncation. *)
 
 val verify_one :
   Kernel.Protocol.t -> input:int list -> spec -> Verdict.t list

@@ -35,23 +35,24 @@ let of_counts ~trials ~safety_failures ~liveness_failures =
   }
 
 let estimate p ~input ~strategy ~trials ~max_steps ?(seed = 1) ?(post_roll = 25) ?jobs () =
-  let trial i =
-    let r =
-      (* The post-roll keeps the run alive past completion: stale
-         deliveries that overshoot the output tape are failures too,
-         and stopping at the first complete state would hide them. *)
-      Runner.run p ~input:(Array.of_list input) ~strategy
-        ~rng:(Stdx.Rng.create (seed + (i * 7919)))
-        ~max_steps ~post_roll ()
-    in
+  (* One scheduler session per trial.  The post-roll keeps each run
+     alive past completion: stale deliveries that overshoot the output
+     tape are failures too, and stopping at the first complete state
+     would hide them.  Trials are seeded independently by index, so
+     the batch shards over domains with bit-identical counts. *)
+  let sessions =
+    List.init trials (fun i ->
+        Kernel.Sched.session p ~input:(Array.of_list input) ~strategy
+          ~rng:(Stdx.Rng.create (seed + (i * 7919)))
+          ~max_steps ~post_roll ())
+  in
+  let classify (r : Runner.result) =
     let trace = r.Runner.trace in
     if Trace.first_safety_violation trace <> None then `Safety
     else if Trace.completed_at trace = None then `Liveness
     else `Ok
   in
-  (* Trials are seeded independently by index, so the Monte-Carlo loop
-     fans out over domains with bit-identical counts. *)
-  let outcomes = Par.map ?jobs trial (List.init trials Fun.id) in
+  let outcomes = List.map classify (Batch.run ?jobs sessions) in
   let count k = List.length (List.filter (( = ) k) outcomes) in
   of_counts ~trials ~safety_failures:(count `Safety) ~liveness_failures:(count `Liveness)
 

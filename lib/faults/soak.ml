@@ -15,18 +15,23 @@ type case = {
 
 type outcome = { case : case; verdict : Core.Verdict.t; ttr : int option }
 
-let run_case ~rng case =
+let session_of_case ~rng case =
   let strategy = Inject.strategy ~plan:case.plan ~base:case.base in
-  let result =
-    Kernel.Runner.run case.protocol ~input:case.input ~strategy ~rng
-      ~max_steps:case.max_steps ()
-  in
+  Kernel.Sched.session case.protocol ~input:case.input ~strategy ~rng
+    ~max_steps:case.max_steps ()
+
+let outcome_of_result case (result : Kernel.Runner.result) =
   let last_fault = Plan.last_fault_time case.plan in
   let verdict =
     Core.Verdict.of_result result
     |> Core.Verdict.assess_recovery ~last_fault ~within:case.within
   in
   { case; verdict; ttr = Core.Verdict.time_to_recover ~last_fault verdict }
+
+let run_case ~rng case =
+  match Core.Batch.run ~jobs:1 [ session_of_case ~rng case ] with
+  | [ r ] -> outcome_of_result case r
+  | _ -> assert false
 
 (* ------------------------- batteries ------------------------- *)
 
@@ -109,13 +114,21 @@ let run ?jobs ?max_seconds ~seed cases =
     List.fold_left
       (fun (acc, skipped) chunk ->
         if deadline () then (acc, skipped + List.length chunk)
-        else
-          let results =
-            Core.Par.map ~jobs
-              (fun (i, c) -> run_case ~rng:(Rng.split base i) c)
-              chunk
+        else begin
+          (* Each chunk is one scheduler batch sharded over the domain
+             pool; per-case [Rng.split] streams keep the results
+             bit-identical at every job count. *)
+          let sessions =
+            List.map (fun (i, c) -> session_of_case ~rng:(Rng.split base i) c) chunk
           in
-          (acc @ results, skipped))
+          let results =
+            List.map2
+              (fun (_, c) r -> outcome_of_result c r)
+              chunk
+              (Core.Batch.run ~jobs sessions)
+          in
+          (acc @ results, skipped)
+        end)
       ([], 0)
       (chunks chunk_size indexed)
   in

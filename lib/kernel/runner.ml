@@ -1,52 +1,23 @@
-type stop_reason = Completed | Quiescent | Budget | Strategy_end
+type stop_reason = Sched.stop_reason = Completed | Quiescent | Budget | Strategy_end
 
-type result = { trace : Trace.t; stop : stop_reason; steps : int }
+type result = Sched.result = { trace : Trace.t; stop : stop_reason; steps : int }
+
+(* A run is a one-session scheduler batch: the per-session stepping in
+   [Sched.step] is the historical run loop verbatim, so these wrappers
+   produce byte-identical traces (pinned by the deterministic-
+   interleaving tests and the engine baselines). *)
 
 let run p ~input ~strategy ~rng ~max_steps ?max_seconds ?(post_roll = 0) () =
-  let builder = Trace.start p ~input in
-  (* The wall-clock guard is checked every 256 steps so the hot loop
-     stays syscall-free; [Sys.time] is CPU time, which is what a
-     budgeted soak battery wants to bound. *)
-  let deadline = Option.map (fun s -> Sys.time () +. s) max_seconds in
-  let over_deadline steps =
-    match deadline with
-    | Some d -> steps land 255 = 0 && Sys.time () > d
-    | None -> false
-  in
-  let rec loop steps roll_left =
-    if steps >= max_steps || over_deadline steps then Budget
-    else begin
-      let g = Trace.current builder in
-      if Global.complete g && roll_left <= 0 then Completed
-      else begin
-        let enabled = Sim.enabled p g in
-        if (not (Global.complete g)) && List.length enabled = 2 && Sim.wake_only_complete p g
-        then Quiescent
-        else match strategy.Strategy.choose rng p g enabled with
-        | None -> Strategy_end
-        | Some move ->
-            let g' = Sim.apply p g move in
-            Trace.record builder move g';
-            let roll_left' =
-              if Global.complete g' then (if Global.complete g then roll_left - 1 else post_roll)
-              else roll_left
-            in
-            loop (steps + 1) roll_left'
-      end
-    end
-  in
-  let stop = loop 0 (if Global.complete (Trace.current builder) then post_roll else -1) in
-  let trace = Trace.finish builder in
-  { trace; stop; steps = Trace.length trace }
+  match
+    Sched.run [ Sched.session p ~input ~strategy ~rng ~max_steps ?max_seconds ~post_roll () ]
+  with
+  | [ r ] -> r
+  | _ -> assert false
 
-let run_seeds p ~input ~strategy ~seeds ~max_steps ?(post_roll = 0) () =
+let run_seeds p ~input ~strategy ~seeds ~max_steps ?max_seconds ?(post_roll = 0) () =
   List.map
     (fun seed ->
-      run p ~input ~strategy ~rng:(Stdx.Rng.create seed) ~max_steps ~post_roll ())
+      run p ~input ~strategy ~rng:(Stdx.Rng.create seed) ~max_steps ?max_seconds ~post_roll ())
     seeds
 
-let pp_stop ppf = function
-  | Completed -> Format.pp_print_string ppf "completed"
-  | Quiescent -> Format.pp_print_string ppf "quiescent"
-  | Budget -> Format.pp_print_string ppf "budget-exhausted"
-  | Strategy_end -> Format.pp_print_string ppf "strategy-ended"
+let pp_stop = Sched.pp_stop

@@ -156,6 +156,27 @@ let scripted moves =
         end);
   }
 
+let forms =
+  [ "fair-random"; "round-robin"; "newest-first"; "dup-flood"; "drop:P"; "drop-first:N" ]
+
+(* The one name->strategy parser: the CLI's --strategy flag and the
+   serve daemon's job specs both resolve through here. *)
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "fair-random" ] -> Ok (fair_random ())
+  | [ "round-robin" ] -> Ok round_robin
+  | [ "newest-first" ] -> Ok newest_first
+  | [ "dup-flood" ] -> Ok (dup_flood ())
+  | [ "drop"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (drop_rate p (fair_random ()))
+      | None -> Error "drop:P needs a float probability")
+  | [ "drop-first"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (drop_first n (fair_random ()))
+      | None -> Error "drop-first:N needs an integer")
+  | _ -> Error (Printf.sprintf "unknown strategy %S" s)
+
 let starve_receiver ~until inner =
   {
     name = Printf.sprintf "%s+starve-R(%d)" inner.name until;

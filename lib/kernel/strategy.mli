@@ -51,6 +51,15 @@ val drop_after : at:int -> int -> t -> t
     [at], then deletes the next [n] droppable copies, then reverts to
     [inner].  Used by E5 to inject a fault right after [t_i]. *)
 
+val of_string : string -> (t, string) result
+(** Resolve a strategy by its CLI spelling: [fair-random],
+    [round-robin], [newest-first], [dup-flood], [drop:P] (e.g.
+    [drop:0.2] over fair-random), [drop-first:N].  The one parser the
+    CLI's [--strategy] flag and the serve daemon's job specs share. *)
+
+val forms : string list
+(** The spellings {!of_string} accepts, for help text. *)
+
 val scripted : Move.t list -> t
 (** Replays a fixed move list, ending the run when exhausted or when a
     scripted move is not enabled. *)

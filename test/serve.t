@@ -1,0 +1,104 @@
+The serve daemon: JSON job specs in, report-IR artifacts out, over
+the event-queue scheduler.  --once executes a single batch file and
+exits, which is what this test drives; --spool is the long-lived
+polling loop, exercised at the end with --max-batches.
+
+A small mixed batch: a clean abp run, a norep run on the duplicating
+channel, and an abp run under a declarative drop-burst fault plan
+(compiled through Faults.Inject, recovery judged within 64 steps):
+
+  $ cat > jobs.json <<'EOF'
+  > {
+  >   "jobs": [
+  >     { "label": "abp-clean", "protocol": "abp", "channel": "fifo-lossy",
+  >       "domain": 2, "input": [0, 1, 1, 0],
+  >       "strategy": "round-robin", "seed": 1 },
+  >     { "label": "norep-dup", "protocol": "norep", "channel": "dup",
+  >       "domain": 3, "input": [0, 1, 2], "seed": 7 },
+  >     { "label": "abp-faulted", "protocol": "abp", "channel": "fifo-lossy",
+  >       "domain": 2, "input": [0, 1, 1, 0],
+  >       "strategy": "round-robin", "seed": 1, "within": 64,
+  >       "plan": { "name": "drop1",
+  >                 "events": [ { "kind": "drop-burst", "at": 6,
+  >                               "target": "to-receiver", "count": 1 } ] } }
+  >   ]
+  > }
+  > EOF
+
+The per-job results are fully deterministic (the telemetry report is
+not — it embeds wall-clock throughput — so it is cut from the text
+here and from the byte-compared artifacts below):
+
+  $ stp serve --once jobs.json --json out.json | sed -n '/serve-telemetry/q;p'
+  == serve: serve batch jobs.json (3 jobs) [ok]
+  batch
+    jobs: 3
+    stop_completed: 3
+    safe: 3
+    complete: 3
+    with_plan: 1
+    recovered: 1
+  
+  per-job results
+  +-------------+----------+-------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | job         | protocol | channel     | strategy    | seed | stop      | steps | safe | complete | recovered | ttr |
+  +-------------+----------+-------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | abp-clean   | abp      | fifo-lossy  | round-robin |    1 | completed |    30 |  yes |      yes | -         |   - |
+  | norep-dup   | norep    | reorder+dup | fair-random |    7 | completed |    28 |  yes |      yes | -         |   - |
+  | abp-faulted | abp      | fifo-lossy  | round-robin |    1 | completed |    26 |  yes |      yes | yes       |  12 |
+  +-------------+----------+-------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+
+The artifact carries both reports and passes the schema gate:
+
+  $ stp validate out.json
+  out.json: valid report artifact, 2 report(s), schema version 1
+
+The acceptance pin: a 100-job mixed battery is bit-identical at every
+--jobs count and timeslice, because sessions own their rng and the
+scheduler never lets one session's slices affect another's steps.
+
+  $ { printf '[\n'
+  >   i=1
+  >   while [ $i -le 100 ]; do
+  >     [ $i -gt 1 ] && printf ',\n'
+  >     case $((i % 3)) in
+  >       0) printf '{"label":"j%03d","protocol":"abp","channel":"fifo-lossy","domain":2,"input":[0,1,1,0],"strategy":"fair-random","seed":%d,"max_steps":5000}' $i $i ;;
+  >       1) printf '{"label":"j%03d","protocol":"norep","channel":"dup","domain":3,"input":[0,1,2],"strategy":"fair-random","seed":%d,"max_steps":5000}' $i $i ;;
+  >       2) printf '{"label":"j%03d","protocol":"counting-resend","channel":"dup","domain":2,"input":[1,0],"strategy":"round-robin","seed":%d,"max_steps":5000}' $i $i ;;
+  >     esac
+  >     i=$((i+1))
+  >   done
+  >   printf '\n]\n'; } > big.json
+
+  $ stp serve --once big.json --results-only --jobs 1 --json big1.json > /dev/null
+  $ stp serve --once big.json --results-only --jobs 4 --json big4.json > /dev/null
+  $ stp serve --once big.json --results-only --jobs 4 --timeslice 7 --json big7.json > /dev/null
+  $ cmp big1.json big4.json
+  $ cmp big1.json big7.json
+  $ stp validate big1.json
+  big1.json: valid report artifact, 1 report(s), schema version 1
+
+A malformed batch names the offending job and fails without writing
+an artifact:
+
+  $ echo '{"jobs": [{"protocol": "nope", "input": [0]}]}' > bad.json
+  $ stp serve --once bad.json --json bad-out.json
+  stp: bad.json: job 0: unknown protocol "nope"
+  [124]
+  $ test -f bad-out.json && echo artifact || echo no-artifact
+  no-artifact
+
+The spool daemon: drop a batch file into a directory, let the daemon
+execute it, and find the artifact beside the renamed input.  A second
+malformed file is parked as .failed without stopping the service:
+
+  $ mkdir spool
+  $ cp jobs.json spool/b1.json
+  $ cp bad.json spool/b2.json
+  $ stp serve --spool spool --max-batches 2 --poll-seconds 0.01 > /dev/null 2>&1
+  $ ls spool
+  b1.json.done
+  b1.report.json
+  b2.json.failed
+  $ stp validate spool/b1.report.json
+  spool/b1.report.json: valid report artifact, 2 report(s), schema version 1
