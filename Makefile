@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test report-schema soak-smoke serve-smoke bench bench-smoke bench-artifact perf-gate clean
+.PHONY: all verify test report-schema soak-smoke serve-smoke stab-smoke bench bench-smoke bench-artifact perf-gate clean
 
 all:
 	dune build
@@ -15,6 +15,7 @@ verify:
 	$(MAKE) report-schema
 	$(MAKE) soak-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) stab-smoke
 	$(MAKE) perf-gate
 
 # The report-schema gate, standalone: produce --json artifacts from
@@ -49,6 +50,17 @@ serve-smoke:
 	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --results-only --jobs 4 --timeslice 7 --json _build/stp_serve_j4.json > /dev/null
 	cmp _build/stp_serve_j1.json _build/stp_serve_j4.json
 
+# The self-stabilisation gate: sweep every corrupted start of the
+# stabilising ABP (artifact ok is load-bearing — any non-converging
+# point fails it), run the corrupted-start soak battery, and validate
+# both artifacts against the report schema.
+stab-smoke:
+	dune build bin/stp_cli.exe
+	_build/default/bin/stp_cli.exe stab --json _build/stp_stab_smoke.json
+	_build/default/bin/stp_cli.exe validate _build/stp_stab_smoke.json
+	_build/default/bin/stp_cli.exe soak --stab --seed 5 --random-plans 1 --json _build/stp_stab_soak.json
+	_build/default/bin/stp_cli.exe validate _build/stp_stab_soak.json
+
 test: verify
 
 # Full benchmark run: reproduction tables + Bechamel timings.
@@ -61,11 +73,11 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --micro --quota 0.05 --json BENCH_smoke.json
 
-# The committed perf baseline (BENCH_PR7.json): a real-quota timing
+# The committed perf baseline (BENCH_PR8.json): a real-quota timing
 # artifact checked into the repo so future changes can be compared
 # against it with `make perf-gate`.
 bench-artifact:
-	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR7.json
+	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR8.json
 
 # Enforcing perf gate: run three independent timing passes and diff
 # the per-benchmark minimum against the committed baseline with a
@@ -79,7 +91,7 @@ perf-gate:
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest1.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest2.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest3.json
-	_build/default/bench/perf_gate.exe BENCH_PR7.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
+	_build/default/bench/perf_gate.exe BENCH_PR8.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
 
 clean:
 	dune clean

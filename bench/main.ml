@@ -1,7 +1,7 @@
 (* Benchmark harness.
 
    Running this executable regenerates every registered reproduction
-   table (E1–E14, see DESIGN.md §3 and EXPERIMENTS.md) at full parameters and
+   table (E1–E15, see DESIGN.md §3 and EXPERIMENTS.md) at full parameters and
    then times the underlying machinery with Bechamel — one benchmark
    per experiment, measuring the work that experiment's table is built
    from, plus kernel micro-benchmarks.
@@ -252,6 +252,17 @@ let soak_workload =
   let cases = lazy (Faults.Soak.default_battery ~random_plans:1 ~seed:5 ()) in
   fun () -> ignore (Faults.Soak.run ~jobs:1 ~seed:5 (Lazy.force cases))
 
+(* The self-stabilisation sweep end to end: every corrupted start of
+   the stabilising ABP as a scheduler session, stabilisation verdicts
+   folded into a worst-case time-to-stabilise.  Sequential (jobs=1) so
+   the number isolates the sweep engine, not the domain pool. *)
+let stab_sweep_workload =
+  let p = lazy (Protocols.Abp_stab.protocol ~domain:2 ~max_len:4) in
+  fun () ->
+    ignore
+      (Core.Stab.sweep ~jobs:1 (Lazy.force p) ~input:[| 0; 1; 1; 0 |] ~within:256 ~seed:7 ()
+        : Core.Stab.sweep)
+
 (* The event-queue scheduler at batch scale: a 1k-session mixed
    battery (three protocols × stateless strategies × split seeds)
    timesliced through one queue.  Sessions are rebuilt every iteration
@@ -294,6 +305,7 @@ let benches =
     ("e11_nested_knowledge", e11_workload);
     ("e12_recoverability", e12_workload);
     ("soak_battery", soak_workload);
+    ("stab_sweep", stab_sweep_workload);
     ("sched_batch", sched_batch_workload);
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);

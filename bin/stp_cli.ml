@@ -9,8 +9,12 @@
      verify       batch-verify a protocol over its allowable set
      recover      dead-state (Property 2) analysis
      census       sample random protocols at m=1 (E9)
-     experiments  run the E1-E14 reproduction experiments
+     experiments  run the E1-E15 reproduction experiments
      soak         fault-injection soak battery with recovery verdicts
+                  (--stab swaps in the corrupted-start battery)
+     stab         corrupted-start stabilisation sweep over a protocol's
+                  declared perturb space, optionally with the exact
+                  corrupted-root witness search
      serve        batch daemon over the event-queue scheduler: JSON job
                   specs in, report artifacts + cumulative telemetry out
      validate     check a --json artifact against the report schema
@@ -496,13 +500,16 @@ let experiments_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the E1-E14 reproduction experiments.")
+    (Cmd.info "experiments" ~doc:"Run the E1-E15 reproduction experiments.")
     Term.(ret (const experiments_run $ quick $ only $ format_arg $ json_arg))
 
 (* ---------------- soak ---------------- *)
 
-let soak_run seed jobs random_plans max_seconds format json =
-  let cases = Faults.Soak.default_battery ~random_plans ~seed () in
+let soak_run seed jobs random_plans stab max_seconds format json =
+  let cases =
+    if stab then Faults.Soak.stab_battery ~random_plans ~seed ()
+    else Faults.Soak.default_battery ~random_plans ~seed ()
+  in
   let r = Faults.Soak.run ~jobs ?max_seconds ~seed cases in
   match maybe_json r json with
   | Error e -> `Error (false, e)
@@ -522,6 +529,15 @@ let soak_cmd =
       value & opt int 4
       & info [ "random-plans" ] ~doc:"Seeded random fault plans per protocol.")
   in
+  let stab =
+    Arg.(
+      value & flag
+      & info [ "stab" ]
+          ~doc:
+            "Run the corrupted-start battery instead: every single-sided corrupted start of \
+             the stabilising ABP as a $(b,corrupt-state) plan, stock ABP for contrast, plus \
+             seeded random plans mixing sender corruption with the ordinary fault kinds.")
+  in
   let max_seconds =
     Arg.(
       value
@@ -539,8 +555,110 @@ let soak_cmd =
           --jobs count.")
     Term.(
       ret
-        (const soak_run $ seed_arg $ jobs_arg $ random_plans $ max_seconds $ format_arg
+        (const soak_run $ seed_arg $ jobs_arg $ random_plans $ stab $ max_seconds $ format_arg
        $ json_arg))
+
+(* ---------------- stab ---------------- *)
+
+let stab_run protocol config input within max_steps seed jobs search depth max_states
+    max_sends format json =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
+  let* p = Registry.build_protocol ~name:protocol config in
+  let input = Array.of_list input in
+  match Core.Stab.sweep ~jobs ~max_steps p ~input ~within ~seed () with
+  | exception Invalid_argument e -> `Error (false, e)
+  | sweep ->
+      let outcome =
+        if search then
+          Some
+            (Core.Stab.search ~depth ~max_states ~max_sends_per_sender:max_sends
+               ~max_sends_per_receiver:max_sends p ~input ())
+        else None
+      in
+      let r = Core.Stab.sweep_report sweep in
+      let r =
+        match outcome with
+        | None -> r
+        | Some o ->
+            let violation_free =
+              match o with Core.Stab.No_violation _ -> true | Core.Stab.Violation _ -> false
+            in
+            {
+              r with
+              Report.items = r.Report.items @ Core.Stab.outcome_items o;
+              ok = Some (sweep.Core.Stab.all_stabilised && violation_free);
+            }
+      in
+      let* () = maybe_json r json in
+      (match format with
+      | `Text -> print_string (Report.to_text r)
+      | `Json ->
+          print_string (Stdx.Json.to_string (Report.to_json r));
+          print_newline ()
+      | `Csv -> print_string (Report.to_csv r));
+      if r.Report.ok = Some true then `Ok ()
+      else `Error (false, "a corrupted start failed to stabilise (or reached a violation)")
+
+let stab_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) (Registry.protocol_names ()))) "abp-stab"
+      & info [ "p"; "protocol" ] ~doc:"Protocol to sweep (must declare a perturb space).")
+  in
+  (* The shared config term defaults to the attack surface's
+     reorder+dup / d=3; the stabilisation sweep's canonical subject is
+     abp-stab on its native channel at E15's parameters. *)
+  let config_term =
+    let make channel domain max_len header_space drop_budget window =
+      { Registry.channel; domain; max_len; header_space; drop_budget; window }
+    in
+    let channel =
+      Arg.(value & opt channel_conv Chan.Fifo_lossy & info [ "c"; "channel" ] ~doc:"Channel kind.")
+    in
+    let domain =
+      Arg.(value & opt int 2 & info [ "d"; "domain" ] ~doc:"Data domain size |D|.")
+    in
+    Term.(
+      const make $ channel $ domain $ max_len_arg $ header_space_arg $ drop_budget_arg
+      $ window_arg)
+  in
+  let input =
+    Arg.(value & opt input_conv [ 0; 1; 1; 0 ] & info [ "i"; "input" ] ~doc:"Input sequence.")
+  in
+  let within =
+    Arg.(
+      value & opt int 256
+      & info [ "within" ] ~doc:"Stabilisation window in steps from the corrupted start.")
+  in
+  let search =
+    Arg.(
+      value & flag
+      & info [ "search" ]
+          ~doc:
+            "Also run the exact corrupted-root witness search: a capped BFS rooted at every \
+             corrupted start simultaneously, hunting for a reachable safety violation.")
+  in
+  let depth = Arg.(value & opt int 64 & info [ "depth" ] ~doc:"Search depth cap.") in
+  let max_states =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"Search state cap.")
+  in
+  let max_sends =
+    Arg.(value & opt int 4 & info [ "max-sends" ] ~doc:"Search cap on sends per side.")
+  in
+  let max_steps =
+    Arg.(value & opt int 20_000 & info [ "max-steps" ] ~doc:"Step budget per sweep point.")
+  in
+  Cmd.v
+    (Cmd.info "stab"
+       ~doc:
+         "Sweep a protocol's declared corrupted-start space: one deterministic session per \
+          corrupted pair, per-point stabilisation verdicts, worst-case time-to-stabilise, \
+          and (with --search) an exact witness search over the union of corrupted roots.")
+    Term.(
+      ret
+        (const stab_run $ protocol $ config_term $ input $ within $ max_steps $ seed_arg
+       $ jobs_arg $ search $ depth $ max_states $ max_sends $ format_arg $ json_arg))
 
 (* ---------------- serve ---------------- *)
 
@@ -703,6 +821,7 @@ let () =
             census_cmd;
             experiments_cmd;
             soak_cmd;
+            stab_cmd;
             serve_cmd;
             validate_cmd;
           ]))

@@ -114,6 +114,10 @@ module Runstate = struct
     | Move.Drop_to_receiver m -> 4 + sa + m
     | Move.Deliver_to_sender m -> 4 + (2 * sa) + m
     | Move.Drop_to_sender m -> 4 + (2 * sa) + ra + m
+    (* Corruption happens at search roots (seeded via [seed]), never
+       as a searched transition, so no caller ever feeds these here. *)
+    | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
+        invalid_arg "Runstate: corrupt-state moves are roots, not transitions"
 
   (* Caller must hold [lock]. *)
   let sid t g =
@@ -142,6 +146,17 @@ module Runstate = struct
     t
 
   let initial t = (t.g0, 0)
+
+  (* Intern an arbitrary root state — the corrupted-start seam: a
+     stabilisation search seeds one id per enumerated corruption and
+     then shares the one transition store across every root's BFS,
+     exactly as the all-pairs sweep shares it across pairs. *)
+  let seed t g =
+    if not t.memo then 0
+    else begin
+      Mutex.lock t.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> sid t g)
+    end
 
   let apply t g id move =
     if not t.memo then
@@ -344,7 +359,8 @@ module Starved = struct
     let is_drop = function
       | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> true
       | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _
-      | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
+      | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver
+      | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
           false
     in
     let is_drop_jm = function Sync m | Only1 m | Only2 m -> is_drop m in
@@ -670,7 +686,9 @@ let search_single_raw (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000)
               | Move.Wake_receiver -> Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
               | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
               | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
-              | Move.Restart_sender | Move.Restart_receiver -> false
+              | Move.Restart_sender | Move.Restart_receiver
+              | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
+                  false
             in
             if keep then begin
               let g' = Sim.apply p g move in

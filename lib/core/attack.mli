@@ -110,6 +110,15 @@ module Runstate : sig
   val initial : t -> Kernel.Global.t * int
   (** The initial global state and its id (always 0). *)
 
+  val seed : t -> Kernel.Global.t -> int
+  (** Intern an arbitrary root state and return its id — the
+      corrupted-start seam: a stabilisation search seeds one id per
+      enumerated corruption ({!Kernel.Global.initial} with perturbed
+      processes) and shares the one transition store across every
+      root's BFS, exactly as the all-pairs sweep shares it across
+      pairs.  In [memo:false] mode ids are vestigial and [0] is
+      returned. *)
+
   val apply :
     t -> Kernel.Global.t -> int -> Kernel.Move.t -> (Kernel.Global.t * int) option
   (** [apply t g id move] is the successor of [g] (whose store id is

@@ -72,6 +72,7 @@ let sample_protocol rng ~states =
     make_receiver = (fun () -> Proc.make ~state:0 ~step:(run_receiver_table receiver_table) ());
     (* Random lookup tables are identity-sensitive by construction. *)
     symmetry = None;
+    perturb = None;
   }
 
 let battery_spec =
@@ -136,6 +137,7 @@ let control =
             | Event.Deliver _ | Event.Wake -> (written, []))
           ());
     symmetry = None;
+    perturb = None;
   }
 
 let control_is_clean () =

@@ -23,7 +23,9 @@ let recoverability (p : Protocol.t) ~input ?(depth = 80) ?(max_states = 200_000)
     | Move.Wake_receiver -> Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
     | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
     | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
-    | Move.Restart_sender | Move.Restart_receiver -> false
+    | Move.Restart_sender | Move.Restart_receiver | Move.Corrupt_sender _
+    | Move.Corrupt_receiver _ ->
+        false
   in
   (* Forward exploration, remembering each state's successors.  States
      are keyed by interned ids of their binary fingerprints (emitted

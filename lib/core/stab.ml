@@ -1,0 +1,300 @@
+module Protocol = Kernel.Protocol
+module Global = Kernel.Global
+module Move = Kernel.Move
+module Sim = Kernel.Sim
+module Sched = Kernel.Sched
+module Strategy = Kernel.Strategy
+module Symm = Kernel.Symm
+module Chan = Channel.Chan
+module Report = Stdx.Report
+module Rng = Stdx.Rng
+
+let space p ~input =
+  match p.Protocol.perturb with
+  | None -> invalid_arg (p.Protocol.name ^ ": protocol declares no corrupted-start space")
+  | Some pe ->
+      (match Protocol.validate_perturb p ~input with
+      | Ok () -> ()
+      | Error e -> invalid_arg (p.Protocol.name ^ ": invalid corrupted-start space: " ^ e));
+      let rs = pe.Protocol.receiver_states () in
+      List.concat_map
+        (fun s -> List.map (fun r -> (s, r)) rs)
+        (pe.Protocol.sender_states ~input)
+
+(* ------------------------- the sweep ------------------------- *)
+
+type point = {
+  s_label : string;
+  r_label : string;
+  verdict : Verdict.t;
+  tts : int option;
+}
+
+type sweep = {
+  protocol_name : string;
+  input : int list;
+  space_size : int;
+  stabilised : int;
+  worst_tts : int option;
+  all_stabilised : bool;
+  points : point list;
+}
+
+let sweep ?jobs ?timeslice ?(strategy = Strategy.round_robin) ?(max_steps = 20_000) p ~input
+    ~within ~seed () =
+  let pairs = space p ~input in
+  let sessions =
+    List.mapi
+      (fun i (s, r) ->
+        Sched.session p ~input ~strategy
+          ~rng:(Rng.split (Rng.create seed) i)
+          ~max_steps ~corrupt_sender:s.Protocol.proc ~corrupt_receiver:r.Protocol.proc ())
+      pairs
+  in
+  let results = Batch.run ?jobs ?timeslice sessions in
+  let points =
+    List.map2
+      (fun (s, r) result ->
+        let verdict =
+          Verdict.of_result result |> Verdict.assess_stabilisation ~within
+        in
+        {
+          s_label = s.Protocol.label;
+          r_label = r.Protocol.label;
+          verdict;
+          tts = Verdict.time_to_stabilise verdict;
+        })
+      pairs results
+  in
+  let stabilised =
+    List.length (List.filter (fun pt -> pt.verdict.Verdict.stabilised = Some true) points)
+  in
+  let worst_tts =
+    List.fold_left
+      (fun acc pt ->
+        match (acc, pt.tts) with
+        | None, t -> t
+        | Some a, Some t -> Some (max a t)
+        | Some a, None -> Some a)
+      None points
+  in
+  {
+    protocol_name = p.Protocol.name;
+    input = Array.to_list input;
+    space_size = List.length points;
+    stabilised;
+    worst_tts;
+    all_stabilised = stabilised = List.length points;
+    points;
+  }
+
+(* --------------------- corrupted-root search --------------------- *)
+
+type witness = {
+  w_s_label : string;
+  w_r_label : string;
+  moves : Move.t list;
+  violation_depth : int;
+}
+
+type outcome = No_violation of { closed : bool; states : int } | Violation of witness
+
+let search ?(depth = 200) ?(max_states = 200_000) ?(allow_drops = true)
+    ?(max_sends_per_sender = 16) ?(max_sends_per_receiver = 16) p ~input () =
+  let pairs = space p ~input in
+  let rs = Attack.Runstate.create p ~x:(Array.to_list input) in
+  (* One BFS over the union of every corrupted root's reachable space:
+     the shared transition store dedups states across roots exactly as
+     the all-pairs sweep shares it across pairs, and the visited
+     bitset keys on the store's dense ids. *)
+  let table : (int, Global.t * (int * Move.t) option * int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let visited = Stdx.Bitset.create () in
+  let frontier = Stdx.Frontier.create () in
+  let result = ref None in
+  let truncated = ref false in
+  List.iteri
+    (fun ri (s, r) ->
+      if !result = None then begin
+        let g =
+          Global.initial ~sender:s.Protocol.proc ~receiver:r.Protocol.proc p ~input
+        in
+        let id = Attack.Runstate.seed rs g in
+        if Stdx.Bitset.add visited id then begin
+          Hashtbl.replace table id (g, None, ri);
+          if not (Global.safety_ok g) then result := Some (id, 0)
+          else Stdx.Frontier.push frontier id
+        end
+      end)
+    pairs;
+  let this_level = ref (Stdx.Frontier.length frontier) in
+  let next_level = ref 0 in
+  let level = ref 0 in
+  while (not (Stdx.Frontier.is_empty frontier)) && !result = None do
+    if !this_level = 0 then begin
+      this_level := !next_level;
+      next_level := 0;
+      incr level
+    end;
+    let id = Stdx.Frontier.pop frontier in
+    decr this_level;
+    let g, _, root = Hashtbl.find table id in
+    if !level >= depth then truncated := true
+    else
+      List.iter
+        (fun move ->
+          if !result = None then begin
+            let keep =
+              match move with
+              | Move.Wake_sender ->
+                  Chan.sent_total g.Global.chan_sr < max_sends_per_sender
+              | Move.Wake_receiver ->
+                  Chan.sent_total g.Global.chan_rs < max_sends_per_receiver
+              | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> allow_drops
+              | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ -> true
+              | Move.Restart_sender | Move.Restart_receiver | Move.Corrupt_sender _
+              | Move.Corrupt_receiver _ ->
+                  false
+            in
+            if keep then
+              match Attack.Runstate.apply rs g id move with
+              | None -> ()
+              | Some (g', id') ->
+                  if Stdx.Bitset.add visited id' then begin
+                    if Hashtbl.length table >= max_states then truncated := true
+                    else begin
+                      Hashtbl.replace table id' (g', Some (id, move), root);
+                      if not (Global.safety_ok g') then result := Some (id', !level + 1)
+                      else Stdx.Frontier.push frontier id';
+                      incr next_level
+                    end
+                  end
+          end)
+        (Sim.enabled p g)
+  done;
+  match !result with
+  | None -> No_violation { closed = not !truncated; states = Hashtbl.length table }
+  | Some (id, d) ->
+      let rec unwind id acc =
+        match Hashtbl.find table id with
+        | _, None, root -> (root, acc)
+        | _, Some (parent, move), _ -> unwind parent (move :: acc)
+      in
+      let root, moves = unwind id [] in
+      let s, r = List.nth pairs root in
+      Violation
+        {
+          w_s_label = s.Protocol.label;
+          w_r_label = r.Protocol.label;
+          moves;
+          violation_depth = d;
+        }
+
+(* ------------------------ witness replay ------------------------ *)
+
+let find_corruption p ~input ~s_label ~r_label =
+  match
+    List.find_opt
+      (fun (s, r) -> s.Protocol.label = s_label && r.Protocol.label = r_label)
+      (space p ~input)
+  with
+  | Some (s, r) -> (s, r)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "%s: no corrupted start labelled (%s, %s)" p.Protocol.name s_label
+           r_label)
+
+let replay p ~input w =
+  let s, r = find_corruption p ~input ~s_label:w.w_s_label ~r_label:w.w_r_label in
+  let g0 = Global.initial ~sender:s.Protocol.proc ~receiver:r.Protocol.proc p ~input in
+  let g = List.fold_left (fun g move -> Sim.apply p g move) g0 w.moves in
+  not (Global.safety_ok g)
+
+let relabel_witness eq pi w =
+  { w with moves = List.map (Symm.relabel_move eq pi) w.moves }
+
+(* ------------------------- reporting ------------------------- *)
+
+let sweep_report ?(title = "corrupted-start stabilisation sweep") s =
+  let t =
+    Report.table ~title:"per-point verdicts over the corrupted-start space"
+      [
+        ("sender start", Report.Left);
+        ("receiver start", Report.Left);
+        ("safe", Report.Right);
+        ("complete", Report.Right);
+        ("stabilised", Report.Right);
+        ("tts", Report.Right);
+      ]
+  in
+  List.iter
+    (fun pt ->
+      let v = pt.verdict in
+      Report.row t
+        [
+          Report.str pt.s_label;
+          Report.str pt.r_label;
+          Report.bool v.Verdict.safe;
+          Report.bool v.Verdict.complete;
+          Report.bool (v.Verdict.stabilised = Some true);
+          (match pt.tts with Some n -> Report.int n | None -> Report.str "-");
+        ])
+    s.points;
+  let metrics =
+    Report.Metrics
+      {
+        title = None;
+        pairs =
+          [
+            ("protocol", Report.str s.protocol_name);
+            ( "input",
+              Report.str
+                ("[" ^ String.concat "," (List.map string_of_int s.input) ^ "]") );
+            ("corrupted_starts", Report.int s.space_size);
+            ("stabilised", Report.int s.stabilised);
+            ("all_stabilised", Report.bool s.all_stabilised);
+            ( "worst_tts",
+              match s.worst_tts with Some n -> Report.int n | None -> Report.str "-" );
+          ];
+      }
+  in
+  Report.make ~id:"stab" ~title ~ok:s.all_stabilised
+    ~notes:
+      [
+        "stabilised = safe, complete, and done within the step budget from a corrupted \
+         start; worst_tts maximises time-to-stabilise over the enumerated space";
+      ]
+    [ metrics; Report.finish t ]
+
+let outcome_items o =
+  match o with
+  | No_violation { closed; states } ->
+      [
+        Report.Metrics
+          {
+            title = Some "corrupted-root witness search";
+            pairs =
+              [
+                ("violation", Report.bool false);
+                ("closed", Report.bool closed);
+                ("states", Report.int states);
+              ];
+          };
+      ]
+  | Violation w ->
+      [
+        Report.Metrics
+          {
+            title = Some "corrupted-root witness search";
+            pairs =
+              [
+                ("violation", Report.bool true);
+                ("sender start", Report.str w.w_s_label);
+                ("receiver start", Report.str w.w_r_label);
+                ("violation_depth", Report.int w.violation_depth);
+                ( "moves",
+                  Report.str (String.concat "; " (List.map Move.to_string w.moves)) );
+              ];
+          };
+      ]

@@ -1,0 +1,109 @@
+(** Self-stabilisation sweeps over corrupted-start state spaces.
+
+    Dolev–Dubois–Potop-Butucaru–Tixeuil ask, for exactly our
+    unreliable non-FIFO channels, which protocols converge when the
+    machines boot in {e arbitrary} local states and how fast.  This
+    module makes the question executable against a protocol's declared
+    {!Kernel.Protocol.perturb} enumeration: {!sweep} runs every
+    corrupted-start pair as a scheduler session over {!Batch} (exact,
+    bit-identical at every job count) and folds per-point
+    {!Verdict.assess_stabilisation} verdicts into a worst-case
+    time-to-stabilise; {!search} does the adversarial half, a
+    single-run BFS rooted at {e every} corruption simultaneously that
+    hunts for a reachable safety violation — the witness that a
+    protocol is not self-stabilising. *)
+
+val space :
+  Kernel.Protocol.t ->
+  input:int array ->
+  (Kernel.Protocol.corrupted * Kernel.Protocol.corrupted) list
+(** The full corrupted-start product (sender × receiver enumerations),
+    validated via {!Kernel.Protocol.validate_perturb} first.  Raises
+    [Invalid_argument] for protocols without a [perturb] seam or with
+    an ill-formed one. *)
+
+type point = {
+  s_label : string;
+  r_label : string;
+  verdict : Verdict.t;  (** with [stabilised] assessed *)
+  tts : int option;  (** {!Verdict.time_to_stabilise} *)
+}
+
+type sweep = {
+  protocol_name : string;
+  input : int list;
+  space_size : int;  (** corrupted-start pairs swept *)
+  stabilised : int;  (** points that converged within the window *)
+  worst_tts : int option;
+      (** max time-to-stabilise over converging points; [None] when no
+          point was safe and complete *)
+  all_stabilised : bool;
+  points : point list;  (** in enumeration order, deterministic *)
+}
+
+val sweep :
+  ?jobs:int ->
+  ?timeslice:int ->
+  ?strategy:Kernel.Strategy.t ->
+  ?max_steps:int ->
+  Kernel.Protocol.t ->
+  input:int array ->
+  within:int ->
+  seed:int ->
+  unit ->
+  sweep
+(** Run one session per corrupted-start pair (rng [Rng.split seed i]
+    per point, round-robin strategy by default) and assess
+    stabilisation within [within] steps of the start.  Results are
+    bit-identical at every [jobs]/[timeslice] by the {!Batch}
+    determinism contract. *)
+
+type witness = {
+  w_s_label : string;
+  w_r_label : string;  (** which corrupted start the violation grows from *)
+  moves : Kernel.Move.t list;  (** schedule from that root to the violation *)
+  violation_depth : int;
+}
+
+type outcome = No_violation of { closed : bool; states : int } | Violation of witness
+
+val search :
+  ?depth:int ->
+  ?max_states:int ->
+  ?allow_drops:bool ->
+  ?max_sends_per_sender:int ->
+  ?max_sends_per_receiver:int ->
+  Kernel.Protocol.t ->
+  input:int array ->
+  unit ->
+  outcome
+(** Exact BFS over the union of every corrupted root's reachable
+    single-run space (send caps bound it), sharing one
+    {!Attack.Runstate} transition store across all roots and keeping
+    the bookkeeping succinct ({!Stdx.Frontier} queue, {!Stdx.Bitset}
+    visited marks over store ids).  [No_violation {closed = true}]
+    means no corrupted start can reach a safety violation under the
+    caps — the exhaustive half of a stabilisation argument. *)
+
+val replay : Kernel.Protocol.t -> input:int array -> witness -> bool
+(** Rebuild the witness's corrupted root (by label) and replay its
+    moves through {!Kernel.Sim.apply}; [true] iff the final state
+    violates safety — the check that a reported witness is a real
+    violation, not a search artefact. *)
+
+val relabel_witness : Kernel.Symm.equivariance -> (int -> int) -> witness -> witness
+(** Translate a witness through a data-alphabet permutation (moves via
+    {!Kernel.Symm.relabel_move}; corruption labels pass through, which
+    is sound exactly when the protocol's perturb enumeration is
+    data-independent — true of every enumeration in the repo).  With
+    {!replay} this is the relabel-replayability contract: a witness
+    found on input [x] replays to a real violation on [π(x)]. *)
+
+val sweep_report : ?title:string -> sweep -> Stdx.Report.t
+(** The sweep as typed IR (id ["stab"], [ok = all_stabilised] — a
+    non-converging corrupted start fails the artifact gate, mirroring
+    [stp verify]). *)
+
+val outcome_items : outcome -> Stdx.Report.item list
+(** Report items for a {!search} outcome, appended to a sweep report
+    by [stp stab --search]. *)

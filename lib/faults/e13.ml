@@ -88,8 +88,11 @@ let report ?(within = 64) ?(max_steps = 200_000) ?(shrink_trials = 400) () =
         plan; base = Strategy.round_robin; within; max_steps;
       }
     in
-    (Soak.run_case ~rng:(Rng.create 1) case).Soak.verdict.Verdict.recovered
-    = Some false
+    let v = (Soak.run_case ~rng:(Rng.create 1) case).Soak.verdict in
+    (* Failing means the run experienced the fault and still missed
+       the window: a candidate whose events were delayed past the
+       trace end is a vacuous non-recovery, not a smaller failure. *)
+    v.Verdict.recovered = Some false && Plan.last_fault_time plan <= v.Verdict.steps
   in
   let shrunk, stats =
     Shrink.run ~channel ~still_failing ~max_trials:shrink_trials seed_plan

@@ -1,0 +1,27 @@
+(** Experiment E15: self-stabilisation, both halves.
+
+    The positive half sweeps the stabilising indexed ABP over its
+    whole declared corrupted-start space ({!Core.Stab.sweep}) and
+    reports the worst-case time-to-stabilise, then closes the same
+    space exhaustively under send caps ({!Core.Stab.search}) — no
+    corrupted start reaches a safety violation.
+
+    The negative half runs the identical capped search against stock
+    ABP and finds a corrupted start it drives to a real violation;
+    the witness is checked by replay, and again after relabelling
+    through the data symmetry on the permuted input.
+
+    [ok] iff every sweep point stabilises, the abp-stab search closes
+    violation-free, and the ABP witness exists and survives both
+    replays. *)
+
+val report :
+  ?within:int ->
+  ?max_steps:int ->
+  ?depth:int ->
+  ?max_states:int ->
+  ?max_sends:int ->
+  unit ->
+  Stdx.Report.t
+(** [within] (default 256) is the stabilisation window for the sweep;
+    [max_sends] (default 4) caps sends per side in both searches. *)

@@ -62,6 +62,10 @@ let strategy ~plan ~base =
         | None -> base.Strategy.choose rng p g enabled
         | Some (Plan.Crash_restart { who = Plan.Sender; _ }) -> Some Move.Restart_sender
         | Some (Plan.Crash_restart { who = Plan.Receiver; _ }) -> Some Move.Restart_receiver
+        | Some (Plan.Corrupt_state { who = Plan.Sender; index; _ }) ->
+            Some (Move.Corrupt_sender index)
+        | Some (Plan.Corrupt_state { who = Plan.Receiver; index; _ }) ->
+            Some (Move.Corrupt_receiver index)
         | Some (Plan.Drop_burst { target; _ }) -> (
             match List.filter (is_drop target) enabled with
             | m :: _ -> Some m

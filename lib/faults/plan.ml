@@ -11,6 +11,7 @@ type event =
   | Reorder_storm of { at : int; len : int }
   | Blackout of { at : int; len : int }
   | Crash_restart of { at : int; who : proc }
+  | Corrupt_state of { at : int; who : proc; index : int }
 
 type t = { name : string; events : event list }
 
@@ -23,7 +24,7 @@ let window = function
   | Drop_burst { at; count; _ } -> (at, at + count - 1 + drop_grace)
   | Dup_burst { at; count; _ } -> (at, at + count - 1)
   | Reorder_storm { at; len } | Blackout { at; len } -> (at, at + len - 1)
-  | Crash_restart { at; _ } -> (at, at)
+  | Crash_restart { at; _ } | Corrupt_state { at; _ } -> (at, at)
 
 let last_fault_time t =
   List.fold_left (fun acc e -> max acc (snd (window e))) 0 t.events
@@ -40,6 +41,8 @@ let pp_event ppf = function
   | Reorder_storm { at; len } -> Format.fprintf ppf "storm@%dx%d" at len
   | Blackout { at; len } -> Format.fprintf ppf "blackout@%dx%d" at len
   | Crash_restart { at; who } -> Format.fprintf ppf "crash-%s@%d" (proc_name who) at
+  | Corrupt_state { at; who; index } ->
+      Format.fprintf ppf "corrupt-%s@%d#%d" (proc_name who) at index
 
 let pp ppf t =
   Format.fprintf ppf "%s[%a]" t.name
@@ -50,7 +53,7 @@ let to_string t = Format.asprintf "%a" pp t
 
 (* ------------------------- validation ------------------------- *)
 
-let validate ~channel t =
+let validate ~channel ?corrupt_space t =
   let bad e msg = Error (Format.asprintf "%a: %s" pp_event e msg) in
   let check e =
     let at, _ = window e in
@@ -67,18 +70,37 @@ let validate ~channel t =
           bad e (Printf.sprintf "channel %s cannot duplicate" (Chan.kind_name channel))
       | Reorder_storm _ when not (Chan.reorders channel) ->
           bad e (Printf.sprintf "channel %s cannot reorder" (Chan.kind_name channel))
+      | Corrupt_state { index; _ } when index < 0 -> bad e "negative corruption index"
+      (* Corruption legality is a protocol capability, not a channel
+         one: the caller passes the protocol's declared enumeration
+         sizes ([Protocol.corrupt_space]); no seam means no corrupt
+         events. *)
+      | Corrupt_state { who; index; _ } -> (
+          match corrupt_space with
+          | None -> bad e "protocol declares no corrupted-start space"
+          | Some (ns, nr) ->
+              let n = match who with Sender -> ns | Receiver -> nr in
+              if index >= n then
+                bad e (Printf.sprintf "corruption index outside enumeration of %d" n)
+              else Ok ())
       | Drop_burst _ | Dup_burst _ | Reorder_storm _ | Blackout _ | Crash_restart _ -> Ok ()
   in
   List.fold_left (fun acc e -> match acc with Error _ -> acc | Ok () -> check e) (Ok ()) t.events
 
 (* ------------------------- generation ------------------------- *)
 
-let random ~channel ~rng ?(max_events = 3) ?(horizon = 40) ?name () =
+let random ~channel ~rng ?(max_events = 3) ?(horizon = 40) ?corrupt_space ?name () =
+  (* [corrupt_space] is opt-in: adding a kind to the default pool would
+     shift every draw after it and silently re-deal all the pinned
+     seeded batteries (E13, soak, serve). *)
   let legal_kinds =
     [ `Blackout; `Crash ]
     @ (if Chan.deletes channel then [ `Drop ] else [])
     @ (if Chan.duplicates channel then [ `Dup ] else [])
-    @ if Chan.reorders channel then [ `Storm ] else []
+    @ (if Chan.reorders channel then [ `Storm ] else [])
+    @ (match corrupt_space with
+      | Some (ns, nr) when ns > 0 || nr > 0 -> [ `Corrupt ]
+      | _ -> [])
   in
   let n = 1 + Stdx.Rng.int rng (max max_events 1) in
   let event () =
@@ -90,6 +112,11 @@ let random ~channel ~rng ?(max_events = 3) ?(horizon = 40) ?name () =
     | `Storm -> Reorder_storm { at; len = 1 + Stdx.Rng.int rng 6 }
     | `Blackout -> Blackout { at; len = 1 + Stdx.Rng.int rng 6 }
     | `Crash -> Crash_restart { at; who = (if Stdx.Rng.bool rng then Sender else Receiver) }
+    | `Corrupt ->
+        let ns, nr = Option.get corrupt_space in
+        let who = if (nr = 0 || Stdx.Rng.bool rng) && ns > 0 then Sender else Receiver in
+        let n = match who with Sender -> ns | Receiver -> nr in
+        Corrupt_state { at; who; index = Stdx.Rng.int rng (max n 1) }
   in
   let events =
     List.sort
@@ -140,6 +167,14 @@ let event_to_json e =
       Obj [ ("kind", String "blackout"); ("at", Int at); ("len", Int len) ]
   | Crash_restart { at; who } ->
       Obj [ ("kind", String "crash-restart"); ("at", Int at); ("who", String (proc_to_string who)) ]
+  | Corrupt_state { at; who; index } ->
+      Obj
+        [
+          ("kind", String "corrupt-state");
+          ("at", Int at);
+          ("who", String (proc_to_string who));
+          ("index", Int index);
+        ]
 
 let to_json t =
   Json.Obj
@@ -178,6 +213,11 @@ let event_of_json j =
       let* who = str_field j "who" in
       let* who = proc_of_string who in
       Ok (Crash_restart { at; who })
+  | "corrupt-state" ->
+      let* who = str_field j "who" in
+      let* who = proc_of_string who in
+      let* index = int_field j "index" in
+      Ok (Corrupt_state { at; who; index })
   | k -> Error (Printf.sprintf "unknown fault event kind %S" k)
 
 let of_json j =

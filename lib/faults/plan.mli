@@ -34,6 +34,12 @@ type event =
   | Crash_restart of { at : int; who : proc }
       (** reset the process to its initial state at time [at]; the
           channels keep their in-flight contents (always legal) *)
+  | Corrupt_state of { at : int; who : proc; index : int }
+      (** replace the process's local state with entry [index] of the
+          protocol's declared corrupted-start enumeration
+          ({!Kernel.Protocol.perturb}) at time [at]; legal only for
+          protocols with that seam — {!validate} needs the enumeration
+          sizes via [?corrupt_space] *)
 
 type t = { name : string; events : event list }
 
@@ -51,23 +57,32 @@ val last_fault_time : t -> int
 (** The last step at which any event of the plan is active; [0] for
     the empty plan.  Recovery verdicts count from here. *)
 
-val validate : channel:Channel.Chan.kind -> t -> (unit, string) result
+val validate :
+  channel:Channel.Chan.kind -> ?corrupt_space:int * int -> t -> (unit, string) result
 (** Static legality: every event's shape is well-formed ([at >= 0],
-    positive spans) and within the channel's capabilities.  The error
-    names the offending event. *)
+    positive spans) and within the channel's capabilities.
+    [corrupt_space] is the protocol's [(sender, receiver)] enumeration
+    sizes ({!Kernel.Protocol.corrupt_space}); without it (default) any
+    {!Corrupt_state} event is rejected — corruption is a protocol
+    capability exactly as drops are a channel one.  The error names
+    the offending event. *)
 
 val random :
   channel:Channel.Chan.kind ->
   rng:Stdx.Rng.t ->
   ?max_events:int ->
   ?horizon:int ->
+  ?corrupt_space:int * int ->
   ?name:string ->
   unit ->
   t
 (** A seeded random plan drawing only events legal on [channel]
     (always at least {!Blackout} and {!Crash_restart}), with start
     times below [horizon] (default 40) and at most [max_events]
-    (default 3) events.  [validate ~channel (random ~channel ...)] is
+    (default 3) events.  Passing [corrupt_space] adds
+    {!Corrupt_state} to the pool (and to the later draws — the
+    default draw stream is unchanged, keeping seeded batteries
+    stable).  [validate ~channel ?corrupt_space (random ...)] is
     [Ok ()] by construction — property-tested. *)
 
 val pp : Format.formatter -> t -> unit

@@ -20,6 +20,13 @@ let span_shrinks e =
   | Plan.Reorder_storm { at; len } -> variants len (fun len -> Plan.Reorder_storm { at; len })
   | Plan.Blackout { at; len } -> variants len (fun len -> Plan.Blackout { at; len })
   | Plan.Crash_restart _ -> []
+  (* A smaller corruption is one closer to the designated state —
+     index 0 by the perturb contract — so shrink the index, not a
+     span. *)
+  | Plan.Corrupt_state { at; who; index } ->
+      List.filter_map
+        (fun v -> if v >= 0 && v < index then Some (Plan.Corrupt_state { at; who; index = v }) else None)
+        (List.sort_uniq compare [ 0; index / 2; index - 1 ])
 
 let delayed delta = function
   | Plan.Drop_burst e -> Plan.Drop_burst { e with at = e.at + delta }
@@ -27,19 +34,20 @@ let delayed delta = function
   | Plan.Reorder_storm e -> Plan.Reorder_storm { e with at = e.at + delta }
   | Plan.Blackout e -> Plan.Blackout { e with at = e.at + delta }
   | Plan.Crash_restart e -> Plan.Crash_restart { e with at = e.at + delta }
+  | Plan.Corrupt_state e -> Plan.Corrupt_state { e with at = e.at + delta }
 
-let run ~channel ~still_failing ?(max_trials = 400) ?(max_delay = 16) plan =
+let run ~channel ?corrupt_space ~still_failing ?(max_trials = 400) ?(max_delay = 16) plan =
   let trials = ref 0 in
   let improved = ref 0 in
   let attempt candidate =
     !trials < max_trials
-    && Result.is_ok (Plan.validate ~channel candidate)
+    && Result.is_ok (Plan.validate ~channel ?corrupt_space candidate)
     && begin
          incr trials;
          still_failing candidate
        end
   in
-  if not (Result.is_ok (Plan.validate ~channel plan) && still_failing plan) then
+  if not (Result.is_ok (Plan.validate ~channel ?corrupt_space plan) && still_failing plan) then
     (plan, { trials = 0; improved = 0 })
   else begin
     let current = ref plan in

@@ -19,6 +19,7 @@ type stats = { trials : int; improved : int }
 
 val run :
   channel:Channel.Chan.kind ->
+  ?corrupt_space:int * int ->
   still_failing:(Plan.t -> bool) ->
   ?max_trials:int ->
   ?max_delay:int ->
@@ -28,4 +29,7 @@ val run :
     to hold on entry (otherwise the plan is returned unchanged with
     zero trials).  [max_trials] (default 400) bounds predicate
     evaluations; [max_delay] (default 16) bounds how far an event is
-    pushed later. *)
+    pushed later.  [corrupt_space] is threaded to {!Plan.validate} so
+    plans carrying {!Plan.Corrupt_state} events stay legal while
+    shrinking; for those the "smaller" move is the corruption index
+    toward [0] — the designated state. *)

@@ -77,6 +77,62 @@ let default_battery ?(random_plans = 4) ~seed () =
   in
   scripted @ random_cases
 
+let corrupt ~at ~who ~index = Plan.Corrupt_state { at; who; index }
+
+let stab_battery ?(random_plans = 2) ~seed () =
+  let stab = Protocols.Abp_stab.protocol ~domain:2 ~max_len:4 in
+  let abp = Protocols.Abp.protocol ~domain:2 in
+  let input = [| 0; 1; 1; 0 |] in
+  let sizes p =
+    match Kernel.Protocol.corrupt_space p ~input with
+    | Some sp -> sp
+    | None -> invalid_arg (p.Kernel.Protocol.name ^ ": no corrupted-start space")
+  in
+  let ns, nr = sizes stab in
+  let abp_ns, _ = sizes abp in
+  (* The corrupted-start resync costs a couple of full round trips
+     more than an in-protocol drop, so the window is wider than the
+     default battery's. *)
+  let case label protocol plan =
+    { label; protocol; input; plan; base = Strategy.round_robin; within = 256; max_steps = 20_000 }
+  in
+  (* Scripted: every single-sided corrupted start of the stabilising
+     protocol, sender corruptions at t=0 and receiver ones at t=1 —
+     both before any write can land, so these are genuine corrupted
+     {e starts}.  (A mid-run receiver corruption would reset the
+     written-count mirror underneath a non-empty output tape, exactly
+     the corruption the {!Kernel.Protocol.perturb} convention
+     excludes.) *)
+  let scripted =
+    List.init ns (fun i ->
+        case (Printf.sprintf "abp-stab/cS%d" i) stab
+          { Plan.name = Printf.sprintf "cS%d" i; events = [ corrupt ~at:0 ~who:Plan.Sender ~index:i ] })
+    @ List.init nr (fun i ->
+        case (Printf.sprintf "abp-stab/cR%d" i) stab
+          { Plan.name = Printf.sprintf "cR%d" i; events = [ corrupt ~at:1 ~who:Plan.Receiver ~index:i ] })
+  in
+  (* Contrast: stock ABP from the same kind of corrupted starts — the
+     battery records which ones it fails to ride out. *)
+  let contrast =
+    List.init abp_ns (fun i ->
+        case (Printf.sprintf "abp/cS%d" i) abp
+          { Plan.name = Printf.sprintf "cS%d" i; events = [ corrupt ~at:0 ~who:Plan.Sender ~index:i ] })
+  in
+  (* Random plans mix sender corruption (safe at any time: the sender
+     only ever sends truthful pairs and resyncs on the next ack) with
+     the ordinary fault kinds; receiver corruption stays scripted-only
+     for the reason above, hence the (ns, 0) space. *)
+  let rng = Rng.create seed in
+  let random_cases =
+    List.init random_plans (fun i ->
+        let plan =
+          Plan.random ~channel:stab.Kernel.Protocol.channel ~rng:(Rng.split rng i)
+            ~corrupt_space:(ns, 0) ~name:(Printf.sprintf "rnd%d" i) ()
+        in
+        case (Printf.sprintf "abp-stab/rnd%d" i) stab plan)
+  in
+  scripted @ contrast @ random_cases
+
 (* ------------------------- the report ------------------------- *)
 
 (* Dispatch in fixed chunks regardless of [jobs] so the set of cases

@@ -48,6 +48,15 @@ val default_battery : ?random_plans:int -> seed:int -> unit -> case list
     from split streams of [seed] and pre-validated against each
     protocol's channel. *)
 
+val stab_battery : ?random_plans:int -> seed:int -> unit -> case list
+(** The corrupted-start battery: every single-sided corrupted start of
+    the stabilising ABP as a scripted {!Plan.Corrupt_state} plan
+    (sender corruptions injected at t=0, receiver at t=1 — before any
+    write can land), the same sender corruptions against stock ABP for
+    contrast, plus [random_plans] (default 2) seeded plans mixing
+    sender corruption with the ordinary fault kinds.  Deterministic
+    under {!run} at every job count like the default battery. *)
+
 val run :
   ?jobs:int -> ?max_seconds:float -> seed:int -> case list -> Stdx.Report.t
 (** Run the battery and fold the outcomes into the ["soak"] report.

@@ -10,7 +10,7 @@ type stats = {
 
 let all_moves _g _m = true
 
-let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
+let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states ?starts () =
   (* The intern table doubles as the seen-set: a state is new exactly
      when its fingerprint gets a fresh id.  Each generated state is
      emitted into one reusable codec buffer and interned in place —
@@ -31,11 +31,15 @@ let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
      the next — recover each popped state's depth without boxing a
      [(state, depth)] tuple per node. *)
   let frontier = Stdx.Ring.create () in
-  let g0 = Global.initial p ~input in
-  ignore (intern g0);
-  Stdx.Ring.push frontier g0;
+  (* Multi-root BFS: corrupted-start sweeps seed the frontier with the
+     whole enumerated corruption space at level 0 and measure the union
+     of the per-root reachable graphs in one pass (dedup across roots
+     is the intern table's job). *)
+  let roots =
+    match starts with Some gs -> gs | None -> [ Global.initial p ~input ]
+  in
   let level = ref 0 in
-  let this_level = ref 1 in
+  let this_level = ref 0 in
   let next_level = ref 0 in
   let transitions = ref 0 in
   let violations = ref 0 in
@@ -48,8 +52,16 @@ let reachable p ~input ~depth ?(move_filter = all_moves) ?max_states () =
   let over_budget () =
     match max_states with Some m -> Stdx.Intern.length seen >= m | None -> false
   in
-  if not (Global.safety_ok g0) then incr violations;
-  if Global.complete g0 then incr completes;
+  List.iter
+    (fun g0 ->
+      let _, fresh = intern g0 in
+      if fresh then begin
+        if not (Global.safety_ok g0) then incr violations;
+        if Global.complete g0 then incr completes;
+        Stdx.Ring.push frontier g0;
+        incr this_level
+      end)
+    roots;
   while not (Stdx.Ring.is_empty frontier) do
     if !this_level = 0 then begin
       this_level := !next_level;
@@ -124,12 +136,14 @@ let iter_runs p ~input ~depth ?(move_filter = all_moves) ?max_runs f =
 let no_drops _g = function
   | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> false
   | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _
-  | Move.Restart_sender | Move.Restart_receiver ->
+  | Move.Restart_sender | Move.Restart_receiver | Move.Corrupt_sender _ | Move.Corrupt_receiver _
+    ->
       true
 
 let bounded_flight k (g : Global.t) = function
   | Move.Wake_sender -> Chan.debt g.Global.chan_sr < k
   | Move.Wake_receiver -> Chan.debt g.Global.chan_rs < k
   | Move.Deliver_to_receiver _ | Move.Deliver_to_sender _ | Move.Drop_to_receiver _
-  | Move.Drop_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
+  | Move.Drop_to_sender _ | Move.Restart_sender | Move.Restart_receiver
+  | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
       true

@@ -22,12 +22,16 @@ val reachable :
   depth:int ->
   ?move_filter:(Global.t -> Move.t -> bool) ->
   ?max_states:int ->
+  ?starts:Global.t list ->
   unit ->
   stats
 (** BFS over distinct states to the given depth.  [max_states] is a
     resource guard: when the seen-set reaches it, no further fresh
     states are recorded and the partial statistics come back with
-    [truncated = true]. *)
+    [truncated = true].  [starts] replaces the designated initial
+    state with an explicit list of roots, all at depth 0 — the
+    corrupted-start sweep measures the union space of a whole
+    perturb enumeration in one BFS (duplicate roots dedup). *)
 
 val iter_runs :
   Protocol.t ->

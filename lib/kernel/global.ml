@@ -14,11 +14,11 @@ type t = {
   time : int;
 }
 
-let initial (p : Protocol.t) ~input =
+let initial ?sender ?receiver (p : Protocol.t) ~input =
   {
     input;
-    sender = p.Protocol.make_sender ~input;
-    receiver = p.Protocol.make_receiver ();
+    sender = (match sender with Some s -> s | None -> p.Protocol.make_sender ~input);
+    receiver = (match receiver with Some r -> r | None -> p.Protocol.make_receiver ());
     s_hist = Hist.empty;
     r_hist = Hist.empty;
     chan_sr = Chan.create p.Protocol.channel;

@@ -22,9 +22,13 @@ type t = {
   time : int;  (** number of moves taken from the initial state *)
 }
 
-val initial : Protocol.t -> input:int array -> t
+val initial : ?sender:Proc.t -> ?receiver:Proc.t -> Protocol.t -> input:int array -> t
 (** The initial global state [𝒢₀] for this protocol and input: both
-    channels empty, fresh processes, empty histories and output. *)
+    channels empty, fresh processes, empty histories and output.
+    [?sender]/[?receiver] override the designated process values — the
+    corrupted-start seam ({!Protocol.t.perturb}): a stabilisation sweep
+    roots a run at an adversarially chosen local state while the rest
+    of the system (channels, output, histories) still boots clean. *)
 
 val output : t -> int list
 (** The output tape [Y], oldest first. *)

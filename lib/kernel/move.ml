@@ -7,10 +7,13 @@ type t =
   | Drop_to_sender of int
   | Restart_sender
   | Restart_receiver
+  | Corrupt_sender of int
+  | Corrupt_receiver of int
 
 let is_receiver_visible = function
-  | Wake_receiver | Deliver_to_receiver _ | Restart_receiver -> true
-  | Wake_sender | Deliver_to_sender _ | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender ->
+  | Wake_receiver | Deliver_to_receiver _ | Restart_receiver | Corrupt_receiver _ -> true
+  | Wake_sender | Deliver_to_sender _ | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender
+  | Corrupt_sender _ ->
       false
 
 let pp ppf = function
@@ -22,6 +25,8 @@ let pp ppf = function
   | Drop_to_sender m -> Format.fprintf ppf "drop %d (to S)" m
   | Restart_sender -> Format.pp_print_string ppf "restart S"
   | Restart_receiver -> Format.pp_print_string ppf "restart R"
+  | Corrupt_sender i -> Format.fprintf ppf "corrupt S #%d" i
+  | Corrupt_receiver i -> Format.fprintf ppf "corrupt R #%d" i
 
 let equal a b =
   match (a, b) with
@@ -33,10 +38,13 @@ let equal a b =
   | Deliver_to_receiver m, Deliver_to_receiver n
   | Deliver_to_sender m, Deliver_to_sender n
   | Drop_to_receiver m, Drop_to_receiver n
-  | Drop_to_sender m, Drop_to_sender n ->
+  | Drop_to_sender m, Drop_to_sender n
+  | Corrupt_sender m, Corrupt_sender n
+  | Corrupt_receiver m, Corrupt_receiver n ->
       m = n
   | ( ( Wake_sender | Wake_receiver | Deliver_to_receiver _ | Deliver_to_sender _
-      | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender | Restart_receiver ),
+      | Drop_to_receiver _ | Drop_to_sender _ | Restart_sender | Restart_receiver
+      | Corrupt_sender _ | Corrupt_receiver _ ),
       _ ) ->
       false
 

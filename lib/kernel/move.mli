@@ -19,6 +19,16 @@ type t =
           {!Sim.enabled} — only a fault plan ({!Faults.Plan}) injects
           it, so ordinary searches and schedules are unaffected. *)
   | Restart_receiver
+  | Corrupt_sender of int
+      (** state corruption: replace the sender's local state with entry
+          [i] of the protocol's declared corrupted-start enumeration
+          ({!Protocol.t.perturb}); channels and histories keep their
+          in-flight contents.  Like the restarts, never offered by
+          {!Sim.enabled} — only a fault plan or a stabilisation sweep
+          injects it.  [Sim.apply] rejects the move on protocols that
+          declare no corruption seam, or an index outside the
+          enumeration. *)
+  | Corrupt_receiver of int
 
 val is_receiver_visible : t -> bool
 (** Moves the receiver can observe (its wake-ups and deliveries to

@@ -1,3 +1,10 @@
+type corrupted = { label : string; proc : Proc.t }
+
+type perturb = {
+  sender_states : input:int array -> corrupted list;
+  receiver_states : unit -> corrupted list;
+}
+
 type t = {
   name : string;
   sender_alphabet : int;
@@ -6,7 +13,13 @@ type t = {
   make_sender : input:int array -> Proc.t;
   make_receiver : unit -> Proc.t;
   symmetry : Symm.equivariance option;
+  perturb : perturb option;
 }
+
+let corrupt_space t ~input =
+  match t.perturb with
+  | None -> None
+  | Some pe -> Some (List.length (pe.sender_states ~input), List.length (pe.receiver_states ()))
 
 let validate_action ~is_sender ~alphabet action =
   match action with
@@ -17,3 +30,37 @@ let validate_action ~is_sender ~alphabet action =
         Error
           (Printf.sprintf "message symbol %d outside declared alphabet of size %d" m alphabet)
       else Ok ()
+
+let validate_perturb t ~input =
+  match t.perturb with
+  | None -> Ok ()
+  | Some pe ->
+      let check ~is_sender ~alphabet who cs =
+        if cs = [] then Error (Printf.sprintf "%s corrupted-start enumeration is empty" who)
+        else
+          let labels = List.map (fun c -> c.label) cs in
+          if List.length (List.sort_uniq compare labels) <> List.length labels then
+            Error (Printf.sprintf "%s corrupted-start labels are not distinct" who)
+          else
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    let _, actions = Proc.step c.proc Event.Wake in
+                    List.fold_left
+                      (fun acc a ->
+                        match acc with
+                        | Error _ -> acc
+                        | Ok () -> (
+                            match validate_action ~is_sender ~alphabet a with
+                            | Ok () -> Ok ()
+                            | Error e ->
+                                Error (Printf.sprintf "%s state %S: %s" who c.label e)))
+                      acc actions)
+              (Ok ()) cs
+      in
+      Result.bind
+        (check ~is_sender:true ~alphabet:t.sender_alphabet "sender" (pe.sender_states ~input))
+        (fun () ->
+          check ~is_sender:false ~alphabet:t.receiver_alphabet "receiver" (pe.receiver_states ()))

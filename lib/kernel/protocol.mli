@@ -11,6 +11,27 @@
     protocols simply consume the array left to right.  Receivers start
     in a state independent of the input (Property 1a). *)
 
+type corrupted = { label : string; proc : Proc.t }
+(** One corrupted local state: a human-readable label (stable across
+    runs — it names sweep points and witnesses) and the process value
+    itself.  [Proc.t] state is existential, so only the protocol module
+    can build these; the [perturb] seam is how it publishes them. *)
+
+type perturb = {
+  sender_states : input:int array -> corrupted list;
+  receiver_states : unit -> corrupted list;
+}
+(** The protocol's declared corrupted-start space: the finite
+    enumerations of local states a transient fault may leave each
+    machine in.  Contract: the first element of each enumeration is the
+    designated initial state (index 0 ≡ a clean boot), so
+    [Move.Corrupt_sender 0] is always a no-op corruption; receivers may
+    not depend on the input (Property 1a) and neither may their
+    corrupted states.  The receiver's mirror of the output tape (its
+    written count) is environment-anchored and excluded by convention:
+    the output tape itself is append-only and unreadable, so no
+    protocol could stabilise from a corruption of it. *)
+
 type t = {
   name : string;
   sender_alphabet : int;  (** [|M^S|]: sender messages are in [\[0, sender_alphabet)] *)
@@ -25,7 +46,25 @@ type t = {
           attack sweeps.  [None] (protocols that inspect symbol
           identities, e.g. via a code table) disables every symmetry
           reduction for the protocol. *)
+  perturb : perturb option;
+      (** [Some pe] declares the corrupted-start space self-stabilisation
+          sweeps enumerate; [None] opts the protocol out of corruption
+          moves entirely ({!Sim.apply} rejects them). *)
 }
+
+val corrupt_space : t -> input:int array -> (int * int) option
+(** Sizes [(sender_states, receiver_states)] of the declared
+    corrupted-start enumerations for this input, or [None] when the
+    protocol has no [perturb] seam — the bound fault-plan validation
+    checks [corrupt-state] indices against. *)
+
+val validate_perturb : t -> input:int array -> (unit, string) result
+(** Sanity-checks the declared corrupted-start space: both enumerations
+    non-empty with distinct labels, and every enumerated state emits
+    only alphabet-legal actions when woken — the same
+    {!validate_action} discipline the simulator applies to every step,
+    so a corruption can never smuggle an out-of-alphabet message into
+    a sweep. *)
 
 val validate_action : is_sender:bool -> alphabet:int -> Action.t -> (unit, string) result
 (** Checks an emitted action against the model: senders never [Write];

@@ -20,6 +20,8 @@ let chart_window trace ~from ~upto =
           | Move.Drop_to_sender m -> ("", Printf.sprintf "X--[%d]--" m, "")
           | Move.Restart_sender -> ("CRASH/restart", "", "")
           | Move.Restart_receiver -> ("", "", "CRASH/restart")
+          | Move.Corrupt_sender i -> (Printf.sprintf "CORRUPT #%d" i, "", "")
+          | Move.Corrupt_receiver i -> ("", "", Printf.sprintf "CORRUPT #%d" i)
         in
         let output =
           if wrote > 0 then

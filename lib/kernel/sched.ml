@@ -10,10 +10,14 @@ type session = {
   max_steps : int;
   max_seconds : float option;
   post_roll : int;
+  corrupt_sender : Proc.t option;
+  corrupt_receiver : Proc.t option;
 }
 
-let session protocol ~input ~strategy ~rng ~max_steps ?max_seconds ?(post_roll = 0) () =
-  { protocol; input; strategy; rng; max_steps; max_seconds; post_roll }
+let session protocol ~input ~strategy ~rng ~max_steps ?max_seconds ?(post_roll = 0)
+    ?corrupt_sender ?corrupt_receiver () =
+  { protocol; input; strategy; rng; max_steps; max_seconds; post_roll; corrupt_sender;
+    corrupt_receiver }
 
 type stats = {
   sessions : int;
@@ -63,7 +67,10 @@ type live = {
 }
 
 let admit index (spec : session) =
-  let builder = Trace.start spec.protocol ~input:spec.input in
+  let builder =
+    Trace.start ?sender:spec.corrupt_sender ?receiver:spec.corrupt_receiver spec.protocol
+      ~input:spec.input
+  in
   {
     spec;
     index;

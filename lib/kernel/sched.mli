@@ -54,11 +54,16 @@ val session :
   max_steps:int ->
   ?max_seconds:float ->
   ?post_roll:int ->
+  ?corrupt_sender:Proc.t ->
+  ?corrupt_receiver:Proc.t ->
   unit ->
   session
 (** The session owns [rng] from here on: reusing one generator across
     two sessions of a batch makes their streams interleaving-dependent
-    and forfeits the determinism guarantee. *)
+    and forfeits the determinism guarantee.
+    [?corrupt_sender]/[?corrupt_receiver] root the run at corrupted
+    local states (the {!Global.initial} overrides) — the step-0
+    injection seam stabilisation sweeps use. *)
 
 type stats = {
   sessions : int;  (** sessions admitted *)

@@ -68,6 +68,39 @@ let apply (p : Protocol.t) (g : Global.t) move =
        listed by [enabled] — only a fault injector plays them. *)
     | Move.Restart_sender -> { g with sender = p.Protocol.make_sender ~input:g.input }
     | Move.Restart_receiver -> { g with receiver = p.Protocol.make_receiver () }
+    (* State corruption: replace the process's local state with entry
+       [i] of the protocol's declared corrupted-start enumeration.
+       Like the restarts, channels and histories are untouched and the
+       move is never listed by [enabled].  A protocol without a
+       [perturb] seam — or an index outside the enumeration — is a
+       model violation, not a silent no-op: a fault plan that names a
+       corruption the protocol cannot express must fail loudly. *)
+    | Move.Corrupt_sender i -> (
+        match p.Protocol.perturb with
+        | None ->
+            raise (Model_violation "corrupt S: protocol declares no corrupted-start space")
+        | Some pe -> (
+            let cs = pe.Protocol.sender_states ~input:g.input in
+            match List.nth_opt cs i with
+            | None ->
+                raise
+                  (Model_violation
+                     (Printf.sprintf "corrupt S: index %d outside enumeration of %d" i
+                        (List.length cs)))
+            | Some c -> { g with sender = c.Protocol.proc }))
+    | Move.Corrupt_receiver i -> (
+        match p.Protocol.perturb with
+        | None ->
+            raise (Model_violation "corrupt R: protocol declares no corrupted-start space")
+        | Some pe -> (
+            let cs = pe.Protocol.receiver_states () in
+            match List.nth_opt cs i with
+            | None ->
+                raise
+                  (Model_violation
+                     (Printf.sprintf "corrupt R: index %d outside enumeration of %d" i
+                        (List.length cs)))
+            | Some c -> { g with receiver = c.Protocol.proc }))
   in
   { g' with time = g.time + 1 }
 

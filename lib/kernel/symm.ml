@@ -92,7 +92,13 @@ let canon_pair ~m x1 x2 =
 
 let relabel_move eq pi move =
   match move with
-  | Move.Wake_sender | Move.Wake_receiver | Move.Restart_sender | Move.Restart_receiver -> move
+  (* Corrupt indices name positions in the perturb enumeration, not
+     alphabet symbols, so relabelling passes them through — protocols
+     that declare both [symmetry] and [perturb] must keep their
+     enumerations data-independent for this to be sound. *)
+  | Move.Wake_sender | Move.Wake_receiver | Move.Restart_sender | Move.Restart_receiver
+  | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
+      move
   | Move.Deliver_to_receiver m -> Move.Deliver_to_receiver (eq.on_sender_msg pi m)
   | Move.Drop_to_receiver m -> Move.Drop_to_receiver (eq.on_sender_msg pi m)
   | Move.Deliver_to_sender m -> Move.Deliver_to_sender (eq.on_receiver_msg pi m)

@@ -26,8 +26,8 @@ type builder = {
   mutable steps : int;
 }
 
-let start (p : Protocol.t) ~input =
-  let g0 = Global.initial p ~input in
+let start ?sender ?receiver (p : Protocol.t) ~input =
+  let g0 = Global.initial ?sender ?receiver p ~input in
   {
     name = p.Protocol.name;
     b_input = input;

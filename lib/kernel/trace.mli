@@ -12,8 +12,10 @@ type t
 
 type builder
 
-val start : Protocol.t -> input:int array -> builder
-(** A builder positioned at the initial global state. *)
+val start : ?sender:Proc.t -> ?receiver:Proc.t -> Protocol.t -> input:int array -> builder
+(** A builder positioned at the initial global state; the optional
+    process overrides are the corrupted-start seam of
+    {!Global.initial}. *)
 
 val current : builder -> Global.t
 

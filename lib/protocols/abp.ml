@@ -63,6 +63,48 @@ let protocol_on channel ~domain =
               encode_msg ~domain ~bit ~data:(pi data));
           on_receiver_msg = (fun _ bit -> bit);
         };
+    (* The corrupted-start space: every (next, bit) sender cursor and
+       every (expected, started) receiver flag combination — the data-
+       independent local state a transient fault can scramble.  The
+       designated initial states lead each enumeration (index 0 ≡
+       clean boot).  ABP is famously NOT self-stabilising: a receiver
+       corrupted to expected=1 re-acks bit 0, the bit-0 sender advances
+       without a write, and the tape skips an item (E15 exhibits the
+       witness). *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              let n = Array.length input in
+              List.concat_map
+                (fun next ->
+                  List.map
+                    (fun bit ->
+                      {
+                        Protocol.label = Printf.sprintf "S:next=%d,bit=%d" next bit;
+                        proc =
+                          Proc.make ~state:{ input; domain; next; bit } ~step:sender_step ();
+                      })
+                    [ 0; 1 ])
+                (List.init (n + 1) Fun.id));
+          receiver_states =
+            (fun () ->
+              List.concat_map
+                (fun expected ->
+                  List.map
+                    (fun started ->
+                      {
+                        Protocol.label =
+                          Printf.sprintf "R:expected=%d,started=%b" expected started;
+                        proc =
+                          Proc.make
+                            ~state:{ r_domain = domain; expected; started }
+                            ~step:receiver_step ();
+                      })
+                    [ false; true ])
+                [ 0; 1 ]);
+        };
   }
 
 let protocol ~domain = protocol_on Channel.Chan.Fifo_lossy ~domain

@@ -69,6 +69,7 @@ let make ~name ~channel ~m ~xs =
                 ~step:(receiver_step code) ());
           (* The code table inspects symbol identities: not equivariant. *)
           symmetry = None;
+          perturb = None;
         }
 
 let dup ~m ~xs =

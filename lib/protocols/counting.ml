@@ -25,6 +25,7 @@ let protocol_on channel ~domain =
     (* Data symbols on the wire; the receiver never sends. *)
     symmetry =
       Some { Symm.on_sender_msg = (fun pi m -> pi m); on_receiver_msg = (fun _ m -> m) };
+    perturb = None;
   }
 
 (* Retransmitting variant: wait for an echo of the current item before
@@ -61,6 +62,7 @@ let resend channel ~domain =
       (fun () -> Proc.make ~state:{ last_written = None } ~step:resend_receiver_step ());
     (* Echo acknowledgements carry the data symbol itself. *)
     symmetry = Some Symm.data_messages;
+    perturb = None;
   }
 
 let () =

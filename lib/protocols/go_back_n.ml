@@ -71,6 +71,7 @@ let protocol_on channel ~domain ~window =
         Proc.make ~state:{ r_domain = domain; r_modulus = modulus; expected = 0 }
           ~step:receiver_step ());
     symmetry = None;
+    perturb = None;
   }
 
 let protocol ~domain ~window = protocol_on Channel.Chan.Fifo_lossy ~domain ~window

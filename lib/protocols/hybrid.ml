@@ -132,6 +132,7 @@ let protocol ~xset ~domain ~drop_budget ?(timeout = 8) () =
             }
           ~step:(receiver_step xset) ());
     symmetry = None;
+    perturb = None;
   }
 
 let () =

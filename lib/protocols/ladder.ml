@@ -72,6 +72,7 @@ let protocol ~xset ~drop_budget =
         Proc.make ~state:{ r_w = w; got_a = 0; decoded = false } ~step:(receiver_step xset) ());
     (* Encodes the input's rank in the allowable set: identity-sensitive. *)
     symmetry = None;
+    perturb = None;
   }
 
 let expected_learning_steps ~xset ~drop_budget x =

@@ -43,6 +43,7 @@ let make ~name ~channel ~m =
        functions compare symbols only for equality/membership — the
        textbook equivariant protocol. *)
     symmetry = Some Symm.data_messages;
+    perturb = None;
   }
 
 let dup ~m = make ~name:(Printf.sprintf "norep-dup(m=%d)" m) ~channel:Channel.Chan.Reorder_dup ~m

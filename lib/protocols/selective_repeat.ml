@@ -120,6 +120,7 @@ let protocol_mod channel ~domain ~window ~modulus =
             }
           ~step:receiver_step ());
     symmetry = None;
+    perturb = None;
   }
 
 let protocol ~domain ~window =

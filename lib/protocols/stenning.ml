@@ -43,6 +43,7 @@ let protocol_on channel ~domain ~max_len =
         Proc.make ~state:{ input; domain; next = 0 } ~step:sender_step ());
     make_receiver = (fun () -> Proc.make ~state:{ r_domain = domain; got = 0 } ~step:receiver_step ());
     symmetry = None;
+    perturb = None;
   }
 
 let protocol ~domain ~max_len = protocol_on Channel.Chan.Reorder_del ~domain ~max_len

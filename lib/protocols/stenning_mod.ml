@@ -49,6 +49,7 @@ let protocol_on channel ~domain ~header_space =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; r_hs = header_space; got = 0 } ~step:receiver_step ());
     symmetry = None;
+    perturb = None;
   }
 
 let () =

@@ -23,6 +23,7 @@ let protocol ~domain =
     make_receiver = (fun () -> Proc.make ~state:() ~step:receiver_step ());
     symmetry =
       Some { Symm.on_sender_msg = (fun pi m -> pi m); on_receiver_msg = (fun _ m -> m) };
+    perturb = None;
   }
 
 let () =

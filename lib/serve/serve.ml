@@ -105,7 +105,14 @@ let job_of_json ~index j =
       | None -> Ok None
       | Some pj ->
           let* plan = Faults.Plan.of_json pj in
-          let* () = Faults.Plan.validate ~channel:protocol.Kernel.Protocol.channel plan in
+          (* The protocol's declared corrupted-start space (if any)
+             legalises corrupt-state events exactly as the channel's
+             capability flags legalise drops. *)
+          let* () =
+            Faults.Plan.validate ~channel:protocol.Kernel.Protocol.channel
+              ?corrupt_space:(Kernel.Protocol.corrupt_space protocol ~input)
+              plan
+          in
           Ok (Some plan)
     in
     let strategy =
@@ -310,10 +317,17 @@ let artifact ?(results_only = false) ~results ~telemetry () =
 
 (* ------------------------- the daemon ------------------------- *)
 
+(* Crash-safe artifact write: a reader polling the spool directory
+   must never observe a half-written report, and a daemon killed
+   mid-write must not leave a plausible-looking truncated artifact
+   behind — so write to a dotted temp name (invisible to the
+   *.json pickup glob) and atomically rename into place. *)
 let write_file path contents =
-  Out_channel.with_open_bin path (fun oc ->
+  let tmp = Filename.concat (Filename.dirname path) ("." ^ Filename.basename path ^ ".tmp") in
+  Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc contents;
-      Out_channel.output_char oc '\n')
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp path
 
 let spool ?jobs ?timeslice ?(poll_seconds = 0.5) ?max_batches ?idle_exit ~dir () =
   if not (Sys.file_exists dir && Sys.is_directory dir) then

@@ -97,7 +97,10 @@ val spool :
 (** Poll [dir] for batch files ([*.json], lexicographic order),
     execute each, write [<name>.report.json] beside it, and rename the
     input to [<name>.json.done] ([.failed] on a parse error, which
-    does not stop the daemon).  Stops after [max_batches] batch files
+    does not stop the daemon).  Reports land atomically: the bytes go
+    to a dotted [.<name>.report.json.tmp] first and are renamed into
+    place, so a concurrent reader (or a crash mid-write) can never
+    observe a truncated artifact.  Stops after [max_batches] batch files
     (rejected ones count: the bound is on files processed) or
     after [idle_exit] seconds with nothing to do (default: run
     forever); returns the cumulative telemetry.  [poll_seconds]

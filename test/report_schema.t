@@ -55,6 +55,45 @@ and its artifact passes the same gate:
   $ stp validate soak1.json
   soak1.json: valid report artifact, 1 report(s), schema version 1
 
+The E15 artifact — the self-stabilisation contrast.  Deterministic
+(no wall-clock in its bytes) and gated on its verdict envelope: a
+non-converging corrupted start of the stabilising protocol, a missing
+stock-ABP witness, or a failed replay would all flip ok and fail here:
+
+  $ stp experiments --quick --only E15 --json e15.json > /dev/null
+  $ stp validate e15.json
+  e15.json: valid report artifact, 1 report(s), schema version 1
+
+The stab subcommand writes the same sweep as a standalone artifact,
+bit-identical at every job count; with --search it appends the
+corrupted-root witness search.  On the stabilising protocol ok holds;
+on stock ABP the sweep records non-stabilising points and the gate
+rejects the artifact:
+
+  $ stp stab --jobs 1 --json stab1.json > /dev/null
+  $ stp stab --jobs 3 --json stab3.json > /dev/null
+  $ cmp stab1.json stab3.json
+  $ stp validate stab1.json
+  stab1.json: valid report artifact, 1 report(s), schema version 1
+  $ stp stab -p abp -i 0,1 --search --json stab-abp.json > /dev/null
+  stp: a corrupted start failed to stabilise (or reached a violation)
+  [124]
+  $ stp validate stab-abp.json
+  stp: stab-abp.json: schema-valid, but report(s) carry ok=false: stab
+  [124]
+
+The corrupted-start soak battery rides the same machinery (scripted
+corrupt-state plans over the stabilising ABP, stock ABP for
+contrast), bit-identical across job counts:
+
+  $ stp soak --stab --seed 5 --random-plans 1 --jobs 1 --json stab-soak1.json > /dev/null
+  $ stp soak --stab --seed 5 --random-plans 1 --jobs 4 --json stab-soak4.json > /dev/null
+  $ stp soak --stab --seed 5 --random-plans 1 --jobs 7 --json stab-soak7.json > /dev/null
+  $ cmp stab-soak1.json stab-soak4.json
+  $ cmp stab-soak1.json stab-soak7.json
+  $ stp validate stab-soak1.json
+  stab-soak1.json: valid report artifact, 1 report(s), schema version 1
+
 A schema-valid artifact that records a failure fails validation: the
 verdict envelope is load-bearing, so a truncated soak (wall budget 0)
 exits non-zero end to end:

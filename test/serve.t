@@ -78,6 +78,35 @@ scheduler never lets one session's slices affect another's steps.
   $ stp validate big1.json
   big1.json: valid report artifact, 1 report(s), schema version 1
 
+A corrupt-state plan in a job spec: legal exactly when the protocol
+declares a corrupted-start space (abp-stab does; the same plan
+against a protocol without the seam is a static error naming the
+offending event):
+
+  $ cat > corrupt.json <<'EOF'
+  > [ { "label": "stab-corrupted", "protocol": "abp-stab",
+  >     "channel": "fifo-lossy", "domain": 2, "max_len": 4,
+  >     "input": [0, 1, 1, 0],
+  >     "strategy": "round-robin", "seed": 1, "within": 256,
+  >     "plan": { "name": "cS4",
+  >               "events": [ { "kind": "corrupt-state", "at": 0,
+  >                             "who": "sender", "index": 4 } ] } } ]
+  > EOF
+  $ stp serve --once corrupt.json --results-only --json corrupt1.json | grep -A 5 'per-job results'
+  per-job results
+  +----------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | job            | protocol | channel    | strategy    | seed | stop      | steps | safe | complete | recovered | ttr |
+  +----------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | stab-corrupted | abp-stab | fifo-lossy | round-robin |    1 | completed |   126 |  yes |      yes | yes       | 126 |
+  +----------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  $ stp validate corrupt1.json
+  corrupt1.json: valid report artifact, 1 report(s), schema version 1
+
+  $ sed 's/abp-stab/trivial/' corrupt.json > corrupt-bad.json
+  $ stp serve --once corrupt-bad.json --json nope.json
+  stp: corrupt-bad.json: job 0: corrupt-S@0#4: protocol declares no corrupted-start space
+  [124]
+
 A malformed batch names the offending job and fails without writing
 an artifact:
 
@@ -102,3 +131,9 @@ malformed file is parked as .failed without stopping the service:
   b2.json.failed
   $ stp validate spool/b1.report.json
   spool/b1.report.json: valid report artifact, 2 report(s), schema version 1
+
+Artifacts land atomically: the daemon writes to a dotted temp file
+and renames it into place, so no temp residue survives (and a reader
+polling the directory can never see a half-written report):
+
+  $ find spool -name '*.tmp*'

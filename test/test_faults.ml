@@ -72,6 +72,62 @@ let prop_plan_json_roundtrip =
       let p = Plan.random ~channel ~rng:(Rng.create seed) () in
       Plan.of_json (Plan.to_json p) = Ok p)
 
+(* ------------------- corrupt-state plan events ------------------- *)
+
+let corrupt ~at ~who ~index = Plan.Corrupt_state { at; who; index }
+
+let test_corrupt_needs_space () =
+  let p = plan "c" [ corrupt ~at:0 ~who:Plan.Sender ~index:1 ] in
+  (* Without a declared corrupted-start space, corruption is as
+     illegal as a drop on a perfect channel. *)
+  check Alcotest.bool "rejected without space" true
+    (Result.is_error (Plan.validate ~channel:Chan.Fifo_lossy p));
+  check Alcotest.bool "accepted inside space" true
+    (Result.is_ok (Plan.validate ~channel:Chan.Fifo_lossy ~corrupt_space:(3, 2) p));
+  check Alcotest.bool "index out of range" true
+    (Result.is_error
+       (Plan.validate ~channel:Chan.Fifo_lossy ~corrupt_space:(1, 2) p));
+  check Alcotest.bool "receiver side checked separately" true
+    (Result.is_error
+       (Plan.validate ~channel:Chan.Fifo_lossy ~corrupt_space:(0, 1)
+          (plan "r" [ corrupt ~at:0 ~who:Plan.Receiver ~index:1 ])));
+  check Alcotest.bool "negative index" true
+    (Result.is_error
+       (Plan.validate ~channel:Chan.Fifo_lossy ~corrupt_space:(3, 2)
+          (plan "n" [ corrupt ~at:0 ~who:Plan.Sender ~index:(-1) ])))
+
+let test_corrupt_absent_from_default_stream () =
+  (* The corrupt kind must be strictly opt-in: the default draw stream
+     (and hence every pinned seeded battery) is unchanged, and an
+     empty declared space draws nothing either. *)
+  List.iter
+    (fun seed ->
+      let draw cs =
+        Plan.random ~channel:Chan.Fifo_lossy ~rng:(Rng.create seed) ?corrupt_space:cs ()
+      in
+      check Alcotest.bool "empty space = default stream" true
+        (draw None = draw (Some (0, 0))))
+    [ 1; 2; 3; 7; 42 ]
+
+let prop_corrupt_random_plans_validate =
+  QCheck.Test.make ~name:"random corrupt-enabled plans validate" ~count:200
+    QCheck.(pair small_nat (pair (int_bound 4) (int_bound 4)))
+    (fun (seed, (ns, nr)) ->
+      let corrupt_space = (ns + 1, nr) in
+      let p =
+        Plan.random ~channel:Chan.Fifo_lossy ~rng:(Rng.create seed) ~corrupt_space ()
+      in
+      Result.is_ok (Plan.validate ~channel:Chan.Fifo_lossy ~corrupt_space p))
+
+let prop_corrupt_plan_json_roundtrip =
+  QCheck.Test.make ~name:"corrupt-enabled plan JSON round-trip" ~count:200
+    QCheck.small_nat
+    (fun seed ->
+      let p =
+        Plan.random ~channel:Chan.Fifo_lossy ~rng:(Rng.create seed) ~corrupt_space:(5, 2) ()
+      in
+      Plan.of_json (Plan.to_json p) = Ok p)
+
 (* ------------------------- injection legality ------------------------- *)
 
 (* Drive a run by hand: whatever the injected strategy picks must be
@@ -162,7 +218,41 @@ let test_crash_restart_resets_process () =
   check Alcotest.bool "restart move recorded" true
     (List.exists (fun m -> m = Move.Restart_receiver) (Array.to_list moves))
 
+let test_corrupt_state_injected () =
+  (* A scripted corruption plan compiles to a Corrupt move the
+     simulator accepts, and the stabilising protocol still completes. *)
+  let p = Protocols.Abp_stab.protocol ~domain:2 ~max_len:4 in
+  let cplan = plan "c" [ corrupt ~at:0 ~who:Plan.Sender ~index:3 ] in
+  let r =
+    Kernel.Runner.run p ~input:[| 0; 1; 1; 0 |]
+      ~strategy:(Inject.strategy ~plan:cplan ~base:Strategy.round_robin)
+      ~rng:(Rng.create 3) ~max_steps:5_000 ()
+  in
+  let moves = Array.to_list (Kernel.Trace.moves r.Kernel.Runner.trace) in
+  check Alcotest.bool "corrupt move recorded" true
+    (List.exists (fun m -> m = Move.Corrupt_sender 3) moves);
+  check Alcotest.bool "still completes" true
+    (r.Kernel.Runner.stop = Kernel.Runner.Completed)
+
 (* ------------------------- shrinking ------------------------- *)
+
+let test_shrink_corrupt_index_toward_zero () =
+  (* The "smaller" corruption is the one nearer the designated state:
+     ddmin over a corrupt+blackout plan whose failure only needs some
+     corruption must land on a single index-0 corrupt event. *)
+  let noisy =
+    plan "noisy"
+      [ Plan.Blackout { at = 2; len = 3 }; corrupt ~at:0 ~who:Plan.Sender ~index:4 ]
+  in
+  let still_failing p =
+    List.exists (function Plan.Corrupt_state _ -> true | _ -> false) p.Plan.events
+  in
+  let shrunk, _ =
+    Shrink.run ~channel:Chan.Fifo_lossy ~corrupt_space:(5, 2) ~still_failing noisy
+  in
+  match shrunk.Plan.events with
+  | [ Plan.Corrupt_state { index; _ } ] -> check Alcotest.int "index shrunk to 0" 0 index
+  | _ -> Alcotest.fail "expected a single corrupt-state event"
 
 let test_shrink_to_single_event () =
   let noisy =
@@ -228,6 +318,14 @@ let test_soak_wall_budget_truncates () =
        (fun n -> String.length n >= 9 && String.sub n 0 9 = "TRUNCATED")
        r.Stdx.Report.notes)
 
+let test_stab_battery_jobs_invariant () =
+  let cases = Soak.stab_battery ~random_plans:1 ~seed:5 () in
+  let report jobs = Stdx.Json.to_string (Stdx.Report.to_json (Soak.run ~jobs ~seed:5 cases)) in
+  let r1 = report 1 in
+  check Alcotest.string "jobs 2 identical" r1 (report 2);
+  check Alcotest.string "jobs 4 identical" r1 (report 4);
+  check Alcotest.string "jobs 7 identical" r1 (report 7)
+
 (* ------------------------- resource guards ------------------------- *)
 
 let test_explore_state_budget () =
@@ -265,6 +363,7 @@ let test_recovery_verdict () =
     {
       Core.Verdict.safe = true; complete = true; deadlocked = false; steps = 40;
       messages = 10; first_violation = None; completed_at = Some 30; recovered = None;
+      stabilised = None;
     }
   in
   let a = Core.Verdict.assess_recovery ~last_fault:10 ~within:20 v in
@@ -279,6 +378,72 @@ let test_recovery_verdict () =
   check Alcotest.bool "unsafe has no ttr" true
     (Core.Verdict.time_to_recover ~last_fault:10 unsafe = None)
 
+let test_recovery_verdict_edges () =
+  let v =
+    {
+      Core.Verdict.safe = true; complete = true; deadlocked = false; steps = 40;
+      messages = 10; first_violation = None; completed_at = Some 30; recovered = None;
+      stabilised = None;
+    }
+  in
+  (* A claimed fault beyond the trace end never landed: that is a
+     vacuous non-recovery, not a pass, and it has no recovery time. *)
+  let late = Core.Verdict.assess_recovery ~last_fault:41 ~within:100 v in
+  check Alcotest.bool "fault beyond trace: not recovered" true
+    (late.Core.Verdict.recovered = Some false);
+  check Alcotest.bool "fault beyond trace: no ttr" true
+    (Core.Verdict.time_to_recover ~last_fault:41 v = None);
+  (* last_fault exactly at the trace end still counts as landed, and
+     a run that had already completed before it recovered for free. *)
+  let at_end = Core.Verdict.assess_recovery ~last_fault:40 ~within:0 v in
+  check Alcotest.bool "fault at trace end assessable" true
+    (at_end.Core.Verdict.recovered = Some true);
+  check Alcotest.bool "completed before the fault: ttr 0" true
+    (Core.Verdict.time_to_recover ~last_fault:40 v = Some 0);
+  (* within = 0 is the defined boundary "completed at the fault". *)
+  let boundary = Core.Verdict.assess_recovery ~last_fault:30 ~within:0 v in
+  check Alcotest.bool "within=0, completed at fault: recovered" true
+    (boundary.Core.Verdict.recovered = Some true);
+  let missed = Core.Verdict.assess_recovery ~last_fault:29 ~within:0 v in
+  check Alcotest.bool "within=0, completed after fault: missed" true
+    (missed.Core.Verdict.recovered = Some false);
+  check Alcotest.bool "negative last_fault raises" true
+    (match Core.Verdict.assess_recovery ~last_fault:(-1) ~within:5 v with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check Alcotest.bool "negative within raises" true
+    (match Core.Verdict.assess_recovery ~last_fault:1 ~within:(-5) v with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check Alcotest.bool "negative last_fault raises in ttr" true
+    (match Core.Verdict.time_to_recover ~last_fault:(-1) v with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stabilisation_verdict () =
+  let v =
+    {
+      Core.Verdict.safe = true; complete = true; deadlocked = false; steps = 40;
+      messages = 10; first_violation = None; completed_at = Some 30; recovered = None;
+      stabilised = None;
+    }
+  in
+  check Alcotest.bool "stabilised inside window" true
+    ((Core.Verdict.assess_stabilisation ~within:30 v).Core.Verdict.stabilised = Some true);
+  check Alcotest.bool "missed by one" true
+    ((Core.Verdict.assess_stabilisation ~within:29 v).Core.Verdict.stabilised = Some false);
+  check Alcotest.bool "tts" true (Core.Verdict.time_to_stabilise v = Some 30);
+  let unsafe = { v with Core.Verdict.safe = false } in
+  check Alcotest.bool "unsafe never stabilises" true
+    ((Core.Verdict.assess_stabilisation ~within:100 unsafe).Core.Verdict.stabilised
+     = Some false);
+  check Alcotest.bool "unsafe has no tts" true
+    (Core.Verdict.time_to_stabilise unsafe = None);
+  check Alcotest.bool "negative within raises" true
+    (match Core.Verdict.assess_stabilisation ~within:(-1) v with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -290,6 +455,14 @@ let () =
           Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
         ]
         @ qsuite [ prop_random_plans_validate; prop_plan_json_roundtrip ] );
+      ( "corrupt-state",
+        [
+          Alcotest.test_case "needs a declared space" `Quick test_corrupt_needs_space;
+          Alcotest.test_case "opt-in draw stream" `Quick test_corrupt_absent_from_default_stream;
+          Alcotest.test_case "injected and survivable" `Quick test_corrupt_state_injected;
+          Alcotest.test_case "shrinks index toward 0" `Quick test_shrink_corrupt_index_toward_zero;
+        ]
+        @ qsuite [ prop_corrupt_random_plans_validate; prop_corrupt_plan_json_roundtrip ] );
       ( "injection",
         [
           Alcotest.test_case "empty plan transparent" `Quick test_empty_plan_transparent;
@@ -308,6 +481,7 @@ let () =
           Alcotest.test_case "jobs invariant" `Quick test_soak_jobs_invariant;
           Alcotest.test_case "report shape" `Quick test_soak_report_shape;
           Alcotest.test_case "wall budget truncates" `Quick test_soak_wall_budget_truncates;
+          Alcotest.test_case "stab battery jobs invariant" `Quick test_stab_battery_jobs_invariant;
         ] );
       ( "guards",
         [
@@ -316,5 +490,9 @@ let () =
           Alcotest.test_case "runner wall budget" `Quick test_runner_wall_budget;
         ] );
       ( "recovery",
-        [ Alcotest.test_case "verdict semantics" `Quick test_recovery_verdict ] );
+        [
+          Alcotest.test_case "verdict semantics" `Quick test_recovery_verdict;
+          Alcotest.test_case "trace-end and zero-window edges" `Quick test_recovery_verdict_edges;
+          Alcotest.test_case "stabilisation semantics" `Quick test_stabilisation_verdict;
+        ] );
     ]

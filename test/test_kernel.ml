@@ -91,6 +91,7 @@ let tiny channel =
             | Event.Wake -> ((), []))
           ());
     symmetry = None;
+    perturb = None;
   }
 
 let bad_sender_writes =
@@ -104,6 +105,7 @@ let bad_sender_writes =
         Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Write 0 ])) ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
     symmetry = None;
+    perturb = None;
   }
 
 let bad_alphabet =
@@ -116,6 +118,7 @@ let bad_alphabet =
       (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Send 7 ])) ());
     make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
     symmetry = None;
+    perturb = None;
   }
 
 (* ------------------------- Global / Sim ------------------------- *)
@@ -199,6 +202,7 @@ let test_wake_only_complete_detects_deadlock () =
         (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       symmetry = None;
+      perturb = None;
     }
   in
   let g = Global.initial inert ~input:[| 0 |] in
@@ -232,6 +236,7 @@ let test_runner_budget () =
         (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [ Action.Send 0 ])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       symmetry = None;
+      perturb = None;
     }
   in
   let r =
@@ -251,6 +256,7 @@ let test_runner_quiescent () =
       make_sender = (fun ~input:_ -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       make_receiver = (fun () -> Proc.make ~state:() ~step:(fun () _ -> ((), [])) ());
       symmetry = None;
+      perturb = None;
     }
   in
   let r =
@@ -328,6 +334,43 @@ let test_starve_receiver () =
     (Trace.output_length_at r.Runner.trace (min 20 (Trace.length r.Runner.trace)));
   check Alcotest.bool "completes afterwards" true (r.Runner.stop = Runner.Completed)
 
+(* Every accepted spelling parses to the strategy whose name the help
+   text promises — and parsing is a pure function of the spelling. *)
+let strategy_spelling_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ "fair-random"; "round-robin"; "newest-first"; "dup-flood" ];
+        map (fun p -> Printf.sprintf "drop:%.2f" p) (float_bound_inclusive 1.0);
+        map (fun n -> Printf.sprintf "drop-first:%d" n) (int_bound 50);
+      ])
+
+let expected_strategy_name s =
+  match String.split_on_char ':' s with
+  | [ "dup-flood" ] -> "dup-flood(3)"
+  | [ "drop"; p ] -> Printf.sprintf "fair-random+drop(%.2f)" (float_of_string p)
+  | [ "drop-first"; n ] -> Printf.sprintf "fair-random+drop-first(%s)" n
+  | _ -> s
+
+let prop_strategy_of_string_roundtrip =
+  QCheck.Test.make ~name:"Strategy.of_string round-trips accepted spellings" ~count:200
+    (QCheck.make ~print:(fun s -> s) strategy_spelling_gen)
+    (fun s ->
+      match (Strategy.of_string s, Strategy.of_string s) with
+      | Ok a, Ok b -> a.Strategy.name = expected_strategy_name s && a.Strategy.name = b.Strategy.name
+      | _ -> false)
+
+let test_strategy_of_string_errors () =
+  let err s = match Strategy.of_string s with Error e -> e | Ok _ -> "OK" in
+  (* Pinned: the unknown-name error quotes the offending spelling. *)
+  check Alcotest.string "unknown name" {|unknown strategy "no-such"|} (err "no-such");
+  check Alcotest.string "unknown with arg" {|unknown strategy "drop:0.2:extra"|}
+    (err "drop:0.2:extra");
+  check Alcotest.string "bad drop probability" "drop:P needs a float probability"
+    (err "drop:lots");
+  check Alcotest.string "bad drop-first count" "drop-first:N needs an integer"
+    (err "drop-first:x")
+
 let prop_fair_random_picks_enabled =
   QCheck.Test.make ~name:"fair_random picks an enabled move" QCheck.small_int (fun seed ->
       let p = tiny Chan.Reorder_dup in
@@ -401,7 +444,8 @@ let test_explore_no_drops_filter () =
         (function
           | Move.Drop_to_receiver _ | Move.Drop_to_sender _ -> saw_drop := true
           | Move.Wake_sender | Move.Wake_receiver | Move.Deliver_to_receiver _
-          | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver ->
+          | Move.Deliver_to_sender _ | Move.Restart_sender | Move.Restart_receiver
+          | Move.Corrupt_sender _ | Move.Corrupt_receiver _ ->
               ())
         (Trace.moves trace));
   check Alcotest.bool "filter removes drops" false !saw_drop
@@ -494,7 +538,9 @@ let () =
           Alcotest.test_case "scripted stops when disabled" `Quick test_scripted_stops_on_disabled;
           Alcotest.test_case "drop_first budget" `Quick test_drop_first_budget;
           Alcotest.test_case "starve receiver" `Quick test_starve_receiver;
+          Alcotest.test_case "of_string errors pinned" `Quick test_strategy_of_string_errors;
           qtest prop_fair_random_picks_enabled;
+          qtest prop_strategy_of_string_roundtrip;
         ] );
       ( "trace",
         [

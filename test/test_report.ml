@@ -236,8 +236,8 @@ let test_registry_protocols () =
   check (Alcotest.list Alcotest.string) "protocol names"
     (sorted
        [
-         "norep"; "coded"; "abp"; "stenning"; "stenning-mod"; "counting"; "counting-resend";
-         "trivial"; "ladder"; "hybrid"; "go-back-n"; "selective-repeat";
+         "norep"; "coded"; "abp"; "abp-stab"; "stenning"; "stenning-mod"; "counting";
+         "counting-resend"; "trivial"; "ladder"; "hybrid"; "go-back-n"; "selective-repeat";
        ])
     (sorted (Kernel.Registry.protocol_names ()));
   (* Every registered builder produces a protocol under the default
@@ -251,7 +251,8 @@ let test_registry_protocols () =
 
 let test_registry_experiments () =
   check (Alcotest.list Alcotest.string) "experiment ids"
-    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14" ]
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
+      "E14"; "E15" ]
     (Kernel.Registry.experiment_ids ());
   check Alcotest.bool "case-insensitive lookup" true
     (match Kernel.Registry.find_experiment "e3" with

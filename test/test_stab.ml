@@ -1,0 +1,211 @@
+(* Tests for the self-stabilisation layer: the perturb seam and its
+   validation, corrupt moves through the simulator, multi-root
+   exploration, and the Core.Stab sweep/search pair. *)
+
+module Protocol = Kernel.Protocol
+module Global = Kernel.Global
+module Move = Kernel.Move
+module Sim = Kernel.Sim
+module Explore = Kernel.Explore
+module Stab = Core.Stab
+module Runstate = Core.Attack.Runstate
+
+let check = Alcotest.check
+
+let abp () = Protocols.Abp.protocol ~domain:2
+let stab_p () = Protocols.Abp_stab.protocol ~domain:2 ~max_len:4
+
+(* ------------------------- the perturb seam ------------------------- *)
+
+let test_perturb_validates () =
+  let input = [| 0; 1; 1; 0 |] in
+  check Alcotest.bool "abp perturb well-formed" true
+    (Protocol.validate_perturb (abp ()) ~input = Ok ());
+  check Alcotest.bool "abp-stab perturb well-formed" true
+    (Protocol.validate_perturb (stab_p ()) ~input = Ok ());
+  (* No seam is fine (nothing to validate) ... *)
+  check Alcotest.bool "no seam validates" true
+    (Protocol.validate_perturb (Protocols.Trivial.protocol ~domain:2) ~input = Ok ());
+  (* ... and declares no space. *)
+  check Alcotest.bool "no seam, no space" true
+    (Protocol.corrupt_space (Protocols.Trivial.protocol ~domain:2) ~input = None)
+
+let test_corrupt_space_sizes () =
+  let input = [| 0; 1; 1; 0 |] in
+  (* abp-stab: cursor in [0..max_len] x {fresh, started}. *)
+  check Alcotest.bool "abp-stab space" true
+    (Protocol.corrupt_space (stab_p ()) ~input = Some (5, 2));
+  (* abp: (next in [0..n]) x bit, and expected-bit x started. *)
+  check Alcotest.bool "abp space" true
+    (Protocol.corrupt_space (abp ()) ~input = Some (10, 4));
+  check Alcotest.int "product space" 10
+    (List.length (Stab.space (stab_p ()) ~input))
+
+let test_designated_state_first () =
+  (* Index 0 of each enumeration is the designated boot state: the
+     corrupt move with index 0 must behave like a clean start. *)
+  let p = stab_p () in
+  let input = [| 0; 1 |] in
+  let g0 = Global.initial p ~input in
+  let g = Sim.apply p (Sim.apply p g0 (Move.Corrupt_sender 0)) (Move.Corrupt_receiver 0) in
+  (* Drive both to completion under the same schedule; the corrupted
+     copy only differs in its time counter. *)
+  let drive g =
+    let g = ref g in
+    for _ = 1 to 50 do
+      match Sim.enabled p !g with
+      | m :: _ -> g := Sim.apply p !g m
+      | [] -> ()
+    done;
+    Global.output !g
+  in
+  check Alcotest.bool "same output from designated corrupt" true (drive g0 = drive g)
+
+(* ------------------------- corrupt moves ------------------------- *)
+
+let test_corrupt_move_guards () =
+  let input = [| 0; 1 |] in
+  let raises f = match f () with exception Sim.Model_violation _ -> true | _ -> false in
+  (* No seam: the move is a model violation, like an illegal symbol. *)
+  let trivial = Protocols.Trivial.protocol ~domain:2 in
+  check Alcotest.bool "no seam rejected" true
+    (raises (fun () ->
+         Sim.apply trivial (Global.initial trivial ~input) (Move.Corrupt_sender 0)));
+  (* Out-of-range index. *)
+  let p = stab_p () in
+  check Alcotest.bool "index out of range rejected" true
+    (raises (fun () -> Sim.apply p (Global.initial p ~input) (Move.Corrupt_sender 99)));
+  check Alcotest.bool "receiver index out of range rejected" true
+    (raises (fun () -> Sim.apply p (Global.initial p ~input) (Move.Corrupt_receiver 2)))
+
+let test_corrupt_never_enabled () =
+  (* Corrupt moves are roots/injections, never scheduled choices. *)
+  let p = stab_p () in
+  let g = Global.initial p ~input:[| 0; 1 |] in
+  check Alcotest.bool "not listed" false
+    (List.exists
+       (function Move.Corrupt_sender _ | Move.Corrupt_receiver _ -> true | _ -> false)
+       (Sim.enabled p g))
+
+let test_runstate_rejects_corrupt_transitions () =
+  let p = stab_p () in
+  let rs = Runstate.create p ~x:[ 0; 1 ] in
+  let g = Global.initial p ~input:[| 0; 1 |] in
+  let id = Runstate.seed rs g in
+  check Alcotest.bool "corrupt is not a transition" true
+    (match Runstate.apply rs g id (Move.Corrupt_sender 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------- multi-root explore ------------------------- *)
+
+let test_explore_multi_root () =
+  let p = stab_p () in
+  let input = [| 0; 1 |] in
+  let single = Explore.reachable p ~input ~depth:8 () in
+  let starts =
+    List.map
+      (fun (s, r) -> Global.initial ~sender:s.Protocol.proc ~receiver:r.Protocol.proc p ~input)
+      (Stab.space p ~input)
+  in
+  let multi = Explore.reachable p ~input ~depth:8 ~starts () in
+  check Alcotest.bool "union space at least as large" true
+    (multi.Explore.states >= single.Explore.states);
+  (* Duplicate roots dedup down to the single-root space. *)
+  let dup = Explore.reachable p ~input ~depth:8 ~starts:[ Global.initial p ~input; Global.initial p ~input ] () in
+  check Alcotest.int "duplicate roots dedup" single.Explore.states dup.Explore.states
+
+(* ------------------------- sweep ------------------------- *)
+
+let sweep ?(jobs = 1) () =
+  Stab.sweep ~jobs (stab_p ()) ~input:[| 0; 1; 1; 0 |] ~within:256 ~seed:7 ()
+
+let test_sweep_stabilises () =
+  let s = sweep () in
+  check Alcotest.int "whole space swept" 10 s.Stab.space_size;
+  check Alcotest.bool "all stabilised" true s.Stab.all_stabilised;
+  (* Pinned worst case: the absolute-resync protocol from any corrupted
+     cursor costs one wasted round trip before the first ack lands. *)
+  check Alcotest.bool "worst tts" true (s.Stab.worst_tts = Some 62)
+
+let test_sweep_jobs_invariant () =
+  let show s =
+    Stdx.Json.to_string (Stdx.Report.to_json (Stab.sweep_report s))
+  in
+  let r1 = show (sweep ~jobs:1 ()) in
+  List.iter
+    (fun j -> check Alcotest.string (Printf.sprintf "jobs %d identical" j) r1 (show (sweep ~jobs:j ())))
+    [ 2; 4; 7 ]
+
+let test_sweep_needs_seam () =
+  check Alcotest.bool "no seam raises" true
+    (match Stab.sweep (Protocols.Trivial.protocol ~domain:2) ~input:[| 0 |] ~within:8 ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------- search ------------------------- *)
+
+let search p input =
+  Stab.search ~depth:64 ~max_states:200_000 ~max_sends_per_sender:4
+    ~max_sends_per_receiver:4 p ~input ()
+
+let test_search_closes_stabilising () =
+  match search (stab_p ()) [| 0; 1 |] with
+  | Stab.No_violation { closed; states } ->
+      check Alcotest.bool "closed" true closed;
+      check Alcotest.bool "explored something" true (states > 0)
+  | Stab.Violation _ -> Alcotest.fail "abp-stab must have no reachable violation"
+
+let test_search_finds_abp_witness () =
+  let p = abp () in
+  let input = [| 0; 1 |] in
+  match search p input with
+  | Stab.No_violation _ -> Alcotest.fail "stock ABP must have a corrupted-start violation"
+  | Stab.Violation w ->
+      check Alcotest.bool "witness replays to a violation" true (Stab.replay p ~input w);
+      (* Relabel-replayability: the same schedule violates safety on
+         the permuted input. *)
+      let pi = function 0 -> 1 | 1 -> 0 | d -> d in
+      let eq = Option.get p.Protocol.symmetry in
+      let w' = Stab.relabel_witness eq pi w in
+      check Alcotest.bool "relabelled witness replays" true
+        (Stab.replay p ~input:(Array.map pi input) w')
+
+let test_sweep_report_shape () =
+  let r = Stab.sweep_report (sweep ()) in
+  check Alcotest.string "id" "stab" r.Stdx.Report.id;
+  check Alcotest.bool "ok" true (r.Stdx.Report.ok = Some true);
+  check Alcotest.bool "artifact validates" true
+    (Result.is_ok
+       (Stdx.Report.validate_artifact (Stdx.Json.to_string (Stdx.Report.to_json r))))
+
+let () =
+  Alcotest.run "stab"
+    [
+      ( "perturb",
+        [
+          Alcotest.test_case "validates" `Quick test_perturb_validates;
+          Alcotest.test_case "space sizes" `Quick test_corrupt_space_sizes;
+          Alcotest.test_case "designated state first" `Quick test_designated_state_first;
+        ] );
+      ( "moves",
+        [
+          Alcotest.test_case "guards" `Quick test_corrupt_move_guards;
+          Alcotest.test_case "never enabled" `Quick test_corrupt_never_enabled;
+          Alcotest.test_case "runstate rejects" `Quick test_runstate_rejects_corrupt_transitions;
+        ] );
+      ( "explore",
+        [ Alcotest.test_case "multi-root union" `Quick test_explore_multi_root ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "stabilises with pinned worst tts" `Quick test_sweep_stabilises;
+          Alcotest.test_case "jobs invariant" `Quick test_sweep_jobs_invariant;
+          Alcotest.test_case "needs a seam" `Quick test_sweep_needs_seam;
+          Alcotest.test_case "report shape" `Quick test_sweep_report_shape;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "closes abp-stab" `Quick test_search_closes_stabilising;
+          Alcotest.test_case "finds and replays abp witness" `Quick test_search_finds_abp_witness;
+        ] );
+    ]
