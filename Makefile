@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all verify test report-schema soak-smoke serve-smoke stab-smoke bench bench-smoke bench-artifact perf-gate clean
+.PHONY: all verify test report-schema soak-smoke serve-smoke stab-smoke m5-smoke bench bench-smoke bench-artifact perf-gate clean
 
 all:
 	dune build
@@ -16,6 +16,7 @@ verify:
 	$(MAKE) soak-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) stab-smoke
+	$(MAKE) m5-smoke
 	$(MAKE) perf-gate
 
 # The report-schema gate, standalone: produce --json artifacts from
@@ -73,11 +74,25 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --micro --quota 0.05 --json BENCH_smoke.json
 
-# The committed perf baseline (BENCH_PR8.json): a real-quota timing
+# The out-of-core gate: the E16 m=5 slice (spilled vs resident sweeps
+# must agree byte for byte, with the spilled run's frontier pinned to
+# its budget — ok is load-bearing), then the same exactness contract
+# through the CLI: two sweeps at wildly different --mem-budget values
+# write byte-identical artifacts.
+m5-smoke:
+	dune build bin/stp_cli.exe
+	_build/default/bin/stp_cli.exe experiments --quick --only E16 --json _build/stp_e16.json > /dev/null
+	_build/default/bin/stp_cli.exe validate _build/stp_e16.json
+	_build/default/bin/stp_cli.exe attack -p norep -c del -d 2 --symm -x 0,1 -x 1,0 -x 0 -x 1 --mem-budget 1 --json _build/stp_m5_spill.json > /dev/null
+	_build/default/bin/stp_cli.exe attack -p norep -c del -d 2 --symm -x 0,1 -x 1,0 -x 0 -x 1 --mem-budget 999999999 --json _build/stp_m5_mem.json > /dev/null
+	cmp _build/stp_m5_spill.json _build/stp_m5_mem.json
+	_build/default/bin/stp_cli.exe validate _build/stp_m5_spill.json
+
+# The committed perf baseline (BENCH_PR9.json): a real-quota timing
 # artifact checked into the repo so future changes can be compared
 # against it with `make perf-gate`.
 bench-artifact:
-	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR8.json
+	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR9.json
 
 # Enforcing perf gate: run three independent timing passes and diff
 # the per-benchmark minimum against the committed baseline with a
@@ -91,7 +106,7 @@ perf-gate:
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest1.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest2.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest3.json
-	_build/default/bench/perf_gate.exe BENCH_PR8.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
+	_build/default/bench/perf_gate.exe BENCH_PR9.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
 
 clean:
 	dune clean

@@ -204,14 +204,19 @@ let sweep_nomemo_workload () = sweep_workload ~memo:false ()
    delta is the orbit dedup (plus the canonicalisation overhead it
    pays for).  Sequential so the ratio isolates the quotient, not the
    domain pool. *)
-let sweep_quotient_workload ~symm () =
+let sweep_quotient_workload ~symm ~swap_symm () =
   let p = Lazy.force sweep_protocol in
   ignore
     (Core.Attack.search p ~xs:(Lazy.force sweep_xs) ~depth:200
-       ~max_sends_per_sender:sweep_caps ~max_sends_per_receiver:sweep_caps ~symm ~jobs:1 ())
+       ~max_sends_per_sender:sweep_caps ~max_sends_per_receiver:sweep_caps ~symm ~swap_symm
+       ~jobs:1 ())
 
-let sweep_symm_workload () = sweep_quotient_workload ~symm:true ()
-let sweep_nosymm_workload () = sweep_quotient_workload ~symm:false ()
+(* Three rungs of the quotient ladder: plain, alphabet permutations
+   only, and permutations composed with the joint-space run swap — the
+   swapsymm/symm ratio is the swap's marginal win. *)
+let sweep_symm_workload () = sweep_quotient_workload ~symm:true ~swap_symm:false ()
+let sweep_swapsymm_workload () = sweep_quotient_workload ~symm:true ~swap_symm:true ()
+let sweep_nosymm_workload () = sweep_quotient_workload ~symm:false ~swap_symm:false ()
 
 (* The canonicalisation kernel in isolation: first-occurrence
    relabelling of every eligible m=4 pair — the exact per-pair work
@@ -236,6 +241,22 @@ let frontier_pack_workload () =
       ignore (Stdx.Frontier.pop2 f : int * int)
     done
   done
+
+(* The pager under the same BFS-shaped load: a one-byte budget clamps
+   the pool to its two-chunk floor, so each round's ~20 KB of queued
+   ids rotate through the unlinked spill file — the write + page-in
+   overhead over [frontier_pack] is the out-of-core tax. *)
+let frontier_spill_workload () =
+  let f = Stdx.Frontier.create ~mem_budget_bytes:1 () in
+  for round = 0 to 3 do
+    for i = 0 to 4_095 do
+      Stdx.Frontier.push2 f ((round * 4096) + i) (i * 131)
+    done;
+    for _ = 0 to 4_095 do
+      ignore (Stdx.Frontier.pop2 f : int * int)
+    done
+  done;
+  Stdx.Frontier.close f
 
 (* A codec-layer micro: generate and fingerprint a few thousand states
    through the emit + intern_bytes hot path, isolated from the attack
@@ -310,9 +331,11 @@ let benches =
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);
     ("sweep_allpairs_symm", sweep_symm_workload);
+    ("sweep_allpairs_swapsymm", sweep_swapsymm_workload);
     ("sweep_allpairs_nosymm", sweep_nosymm_workload);
     ("state_canon", state_canon_workload);
     ("frontier_pack", frontier_pack_workload);
+    ("frontier_spill", frontier_spill_workload);
     ("state_fingerprint_bfs", fingerprint_workload);
     ("kernel_full_run", sim_step_workload);
     ("alpha_100", alpha_workload);

@@ -210,9 +210,29 @@ let simulate_cmd =
 
 (* ---------------- attack ---------------- *)
 
-let attack_run protocol config x1 x2 xs depth single symm jobs json =
+let attack_run protocol config x1 x2 xs depth single symm mem_budget jobs json =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e) in
   let* p = Registry.build_protocol ~name:protocol config in
+  (* Resource counters ride along only when --mem-budget is given: the
+     report block they add is budget-invariant (spilled and resident
+     runs at different budgets write byte-identical artifacts), but
+     frontier peaks are not invariant under the symmetry quotient's
+     reordering, so unconditionally adding them would break the
+     symm/nosymm artifact cmp. *)
+  let stats = Option.map (fun _ -> Core.Attack.Stats.create ()) mem_budget in
+  let print_spill_summary () =
+    match (mem_budget, stats) with
+    | Some budget, Some st ->
+        let s = Core.Attack.Stats.snapshot st in
+        Format.printf
+          "frontier: peak %d B queued (%d ids), peak resident %d B (budget %d B), \
+           spilled %d B in %d chunks; peak joint states %d@."
+          s.Core.Attack.Stats.peak_frontier_bytes s.Core.Attack.Stats.peak_frontier_len
+          s.Core.Attack.Stats.peak_resident_bytes budget
+          s.Core.Attack.Stats.spilled_bytes s.Core.Attack.Stats.spill_chunks
+          s.Core.Attack.Stats.peak_joint_states
+    | _ -> ()
+  in
   let describe = function
     | Core.Attack.Witness w ->
         Format.asprintf "WITNESS (%s, depth %d, %d joint states)"
@@ -229,7 +249,9 @@ let attack_run protocol config x1 x2 xs depth single symm jobs json =
   if xs <> [] then begin
     (* Sweep mode: every eligible pair from the repeated --x inputs,
        fanned out over --jobs domains. *)
-    let outcomes, witness = Core.Attack.search p ~xs ~depth ~jobs ~symm () in
+    let outcomes, witness =
+      Core.Attack.search p ~xs ~depth ~jobs ~symm ?mem_budget_bytes:mem_budget ?stats ()
+    in
     List.iter
       (fun (a, b, o) ->
         Format.printf "%a vs %a: %s@." Seqspace.Xset.pp_sequence a Seqspace.Xset.pp_sequence b
@@ -238,13 +260,18 @@ let attack_run protocol config x1 x2 xs depth single symm jobs json =
     (match witness with
     | Some w -> Format.printf "%a@." Core.Attack.pp_witness w
     | None -> Format.printf "no witness over %d pairs@." (List.length outcomes));
-    let* () = maybe_json (Core.Attack.search_report outcomes witness) json in
+    print_spill_summary ();
+    let* () = maybe_json (Core.Attack.search_report ?stats outcomes witness) json in
     `Ok ()
   end
   else begin
     let outcome =
-      if single then Core.Attack.search_single p ~x:x1 ~depth ~symm ()
-      else Core.Attack.search_pair p ~x1 ~x2 ~depth ~symm ()
+      if single then
+        Core.Attack.search_single p ~x:x1 ~depth ?mem_budget_bytes:mem_budget ?stats
+          ~symm ()
+      else
+        Core.Attack.search_pair p ~x1 ~x2 ~depth ?mem_budget_bytes:mem_budget ?stats
+          ~symm ()
     in
     (match outcome with
     | Core.Attack.Witness w -> Format.printf "%a@." Core.Attack.pp_witness w
@@ -253,8 +280,11 @@ let attack_run protocol config x1 x2 xs depth single symm jobs json =
           (if closed then "state space closed — adversary provably cannot win within the move \
                            bounds" else "search truncated")
           states_explored);
+    print_spill_summary ();
     let* () =
-      maybe_json (Core.Attack.outcome_report ~x1 ~x2:(if single then x1 else x2) outcome) json
+      maybe_json
+        (Core.Attack.outcome_report ~x1 ~x2:(if single then x1 else x2) ?stats outcome)
+        json
     in
     `Ok ()
   end
@@ -289,13 +319,25 @@ let attack_cmd =
              pairs, and translate witnesses back.  Outcomes are unchanged; only protocols \
              declaring an equivariance are affected (others ignore the flag).")
   in
+  let mem_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-budget" ] ~docv:"BYTES"
+          ~doc:
+            "Bound the BFS frontier's resident memory: past $(docv), full frontier chunks \
+             spill to an unlinked temp file and stream back in FIFO order.  Outcomes and \
+             --json artifacts are byte-identical to an unbounded search's; a resource \
+             summary (budget-invariant metrics in the artifact, spill counters on stdout) \
+             is reported.  A large value measures without spilling; 0 never spills.")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Search for an impossibility witness (the Theorem 1/2 construction, executable).")
     Term.(
       ret
         (const attack_run $ protocol_arg $ config_term $ x1 $ x2 $ xs $ depth $ single
-       $ symm $ jobs_arg $ json_arg))
+       $ symm $ mem_budget $ jobs_arg $ json_arg))
 
 (* ---------------- knowledge ---------------- *)
 

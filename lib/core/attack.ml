@@ -193,6 +193,66 @@ module Runstate = struct
   let hits t = t.hits
 end
 
+(* Lifetime resource counters for a search or sweep.  The peaks are
+   budget-invariant — a spilled frontier queues exactly the bytes an
+   unbounded one does, and the joint table never depends on where the
+   frontier lives — so they are safe to surface in reports that must
+   stay byte-identical across [mem_budget_bytes] settings.  The spill
+   counters ([peak_resident_bytes], [spilled_bytes], [spill_chunks])
+   are budget-*variant* by design: they are what E16 and the smoke
+   targets assert against the budget, and they stay out of report IR.
+   The accumulator is mutex-guarded because [search] merges into it
+   from every domain of the parallel pair sweep. *)
+module Stats = struct
+  type snapshot = {
+    peak_frontier_bytes : int;
+    peak_frontier_len : int;
+    peak_resident_bytes : int;
+    spilled_bytes : int;
+    spill_chunks : int;
+    peak_joint_states : int;
+  }
+
+  type t = { lock : Mutex.t; mutable s : snapshot }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      s =
+        {
+          peak_frontier_bytes = 0;
+          peak_frontier_len = 0;
+          peak_resident_bytes = 0;
+          spilled_bytes = 0;
+          spill_chunks = 0;
+          peak_joint_states = 0;
+        };
+    }
+
+  (* Per-search peaks max-merge (the sweep-wide peak is the worst
+     single search); spill volumes sum (total I/O the sweep did). *)
+  let note t (fs : Stdx.Frontier.stats) ~joint_states =
+    Mutex.lock t.lock;
+    let s = t.s in
+    t.s <-
+      {
+        peak_frontier_bytes = max s.peak_frontier_bytes fs.Stdx.Frontier.peak_bytes;
+        peak_frontier_len = max s.peak_frontier_len fs.Stdx.Frontier.peak_len;
+        peak_resident_bytes =
+          max s.peak_resident_bytes fs.Stdx.Frontier.peak_resident_bytes;
+        spilled_bytes = s.spilled_bytes + fs.Stdx.Frontier.spilled_bytes;
+        spill_chunks = s.spill_chunks + fs.Stdx.Frontier.spill_chunks;
+        peak_joint_states = max s.peak_joint_states joint_states;
+      };
+    Mutex.unlock t.lock
+
+  let snapshot t =
+    Mutex.lock t.lock;
+    let s = t.s in
+    Mutex.unlock t.lock;
+    s
+end
+
 (* Both arguments ascending (the [Chan.deliverable] contract): a
    sorted merge instead of the quadratic [List.mem] scan. *)
 let intersect xs ys =
@@ -466,7 +526,7 @@ let make_deadline = function
 
 let search_pair_raw (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_000)
     ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds
-    ?runstates () =
+    ?runstates ?mem_budget_bytes ?stats () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
@@ -493,8 +553,19 @@ let search_pair_raw (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_00
   let table : (key, node) Hashtbl.t = Hashtbl.create 64 in
   (* The frontier holds only the joint ids, varint-packed into chunked
      codec buffers — the node (globals, parent, depth) already lives in
-     [table], so queueing boxed keys or tuples would pay twice. *)
-  let frontier = Stdx.Frontier.create () in
+     [table], so queueing boxed keys or tuples would pay twice.  Under
+     a byte budget it spills full chunks to disk; [close] in the
+     [finally] releases the spill fd on every exit path. *)
+  let frontier = Stdx.Frontier.create ?mem_budget_bytes () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match stats with
+      | Some s ->
+          Stats.note s (Stdx.Frontier.stats frontier)
+            ~joint_states:(Hashtbl.length table)
+      | None -> ());
+      Stdx.Frontier.close frontier)
+  @@ fun () ->
   let g1_0, rsid1_0 = Runstate.initial rs1 in
   let g2_0, rsid2_0 = Runstate.initial rs2 in
   (* Historical id order: the g2 side of a joint key is interned
@@ -643,7 +714,7 @@ let search_pair_raw (p : Protocol.t) ~x1 ~x2 ?(depth = 64) ?(max_states = 200_00
 
 let search_single_raw (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000)
     ?allow_drops ?(max_sends_per_sender = 24) ?(max_sends_per_receiver = 24) ?max_seconds
-    () =
+    ?mem_budget_bytes ?stats () =
   let allow_drops =
     match allow_drops with Some b -> b | None -> Chan.deletes p.Protocol.channel
   in
@@ -660,7 +731,16 @@ let search_single_raw (p : Protocol.t) ~x ?(depth = 64) ?(max_states = 200_000)
   let table : (int, Global.t * (int * Move.t) option * int) Hashtbl.t =
     Hashtbl.create 64
   in
-  let frontier = Stdx.Frontier.create () in
+  let frontier = Stdx.Frontier.create ?mem_budget_bytes () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match stats with
+      | Some s ->
+          Stats.note s (Stdx.Frontier.stats frontier)
+            ~joint_states:(Hashtbl.length table)
+      | None -> ());
+      Stdx.Frontier.close frontier)
+  @@ fun () ->
   let g0 = Global.initial p ~input:(Array.of_list x) in
   let key0 = gid g0 in
   Hashtbl.replace table key0 (g0, None, 0);
@@ -756,9 +836,60 @@ let relabel_outcome eq pi ~x1 ~x2 = function
       let f = Symm.apply (Symm.invert pi) in
       Witness { w with x1; x2; joint_moves = List.map (relabel_joint eq f) w.joint_moves }
 
+(* --- The swap quotient -----------------------------------------------
+
+   The joint system is symmetric under exchanging its two runs: the
+   map [(s1, s2) ↦ (s2, s1)] carries the initial joint state of
+   [J(x1, x2)] to that of [J(x2, x1)] and is a bijection on joint
+   moves — [Sync] moves are self-corresponding (the deliverable
+   intersection is commutative, and the receiver-send cap reads run
+   1's reverse-channel total, which equals run 2's because the
+   synchronised deterministic receiver sends identically in both
+   runs), while [Only1]/[Only2] moves trade places.  Safety and
+   fairness conditions are exchanged with the run index.  So a search
+   of [J(x2, x1)] answers for [(x1, x2)]: mirror the witness — swap
+   the inputs, flip the [Only] tags, flip the violated/starved run —
+   and, because the reachable joint sets biject, closed and truncated
+   [No_violation] outcomes (and their state counts) pass through
+   unchanged.  Composed with the alphabet quotient this halves the
+   representatives for orbits that are not swap-self-symmetric. *)
+
+let mirror_joint = function
+  | Sync m -> Sync m
+  | Only1 m -> Only2 m
+  | Only2 m -> Only1 m
+
+let mirror_outcome = function
+  | No_violation _ as o -> o
+  | Witness w ->
+      let kind =
+        match w.kind with
+        | Safety { violated_run } -> Safety { violated_run = 3 - violated_run }
+        | Starvation { starved_run } -> Starvation { starved_run = 3 - starved_run }
+      in
+      Witness
+        {
+          w with
+          x1 = w.x2;
+          x2 = w.x1;
+          kind;
+          joint_moves = List.map mirror_joint w.joint_moves;
+        }
+
+(* Canonical form for the composed group (alphabet permutations ×
+   run swap): the smaller of the two orderings' alphabet-canonical
+   images.  Each [Symm.canon_pair] is invariant on its π-orbit, so the
+   minimum is invariant on the whole composed orbit.  [swapped] tells
+   the caller the representative searches [(x2, x1)]'s image, so its
+   outcome must be mirrored after relabelling. *)
+let canon_pair_swap ~m x1 x2 =
+  let ck, pi = Symm.canon_pair ~m x1 x2 in
+  let cks, pis = Symm.canon_pair ~m x2 x1 in
+  if compare cks ck < 0 then (cks, pis, true) else (ck, pi, false)
+
 let search_pair (p : Protocol.t) ~x1 ~x2 ?depth ?max_states ?allow_drops
     ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?runstates
-    ?(symm = false) () =
+    ?mem_budget_bytes ?stats ?(symm = false) () =
   let quotient =
     (* Caller-supplied stores are tied to the literal inputs, so the
        canonical rewrite only applies to self-contained searches
@@ -770,24 +901,26 @@ let search_pair (p : Protocol.t) ~x1 ~x2 ?depth ?max_states ?allow_drops
   match quotient with
   | None ->
       search_pair_raw p ~x1 ~x2 ?depth ?max_states ?allow_drops ?max_sends_per_sender
-        ?max_sends_per_receiver ?max_seconds ?runstates ()
+        ?max_sends_per_receiver ?max_seconds ?runstates ?mem_budget_bytes ?stats ()
   | Some eq ->
       let m = infer_m [ x1; x2 ] in
       let (cx1, cx2), pi = Symm.canon_pair ~m x1 x2 in
       search_pair_raw p ~x1:cx1 ~x2:cx2 ?depth ?max_states ?allow_drops
-        ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ()
+        ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?mem_budget_bytes
+        ?stats ()
       |> relabel_outcome eq pi ~x1 ~x2
 
 let search_single (p : Protocol.t) ~x ?depth ?max_states ?allow_drops
-    ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?(symm = false) () =
+    ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds ?mem_budget_bytes ?stats
+    ?(symm = false) () =
   match (if symm then p.Protocol.symmetry else None) with
   | None ->
       search_single_raw p ~x ?depth ?max_states ?allow_drops ?max_sends_per_sender
-        ?max_sends_per_receiver ?max_seconds ()
+        ?max_sends_per_receiver ?max_seconds ?mem_budget_bytes ?stats ()
   | Some eq ->
       let cx, pi = Symm.canon_seq ~m:(infer_m [ x ]) x in
       search_single_raw p ~x:cx ?depth ?max_states ?allow_drops ?max_sends_per_sender
-        ?max_sends_per_receiver ?max_seconds ()
+        ?max_sends_per_receiver ?max_seconds ?mem_budget_bytes ?stats ()
       |> relabel_outcome eq pi ~x1:x ~x2:x
 
 let eligible_pairs ~xs =
@@ -802,7 +935,8 @@ let eligible_pairs ~xs =
   pairs xs
 
 let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
-    ?max_sends_per_receiver ?max_seconds ?jobs ?(symm = false) () =
+    ?max_sends_per_receiver ?max_seconds ?jobs ?mem_budget_bytes ?stats ?(symm = false)
+    ?(swap_symm = true) () =
   let all_pairs = eligible_pairs ~xs in
   (* One transition store per distinct input, built up front and
      shared by every pair that input participates in: the α(m)² sweep
@@ -831,7 +965,7 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
               x2,
               search_pair_raw p ~x1 ~x2 ?depth ?max_states ?allow_drops
                 ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds
-                ~runstates:(rs1, rs2) () ))
+                ~runstates:(rs1, rs2) ?mem_budget_bytes ?stats () ))
           tagged
     | Some eq ->
         (* Orbit quotient: tag every eligible pair with its canonical
@@ -841,19 +975,28 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
            report is shaped exactly like the unquotiented sweep's, and
            the saved work is the whole point.  Stores are keyed by
            *canonical* inputs, which also overlap far more than raw
-           inputs do. *)
+           inputs do.  With [swap_symm] (the default) the quotient
+           composes with the run-swap symmetry: both orderings of a
+           pair share one representative, and members whose orientation
+           lost the canonical race get mirrored outcomes. *)
         let m = infer_m xs in
+        let canon x1 x2 =
+          if swap_symm then canon_pair_swap ~m x1 x2
+          else
+            let ckey, pi = Symm.canon_pair ~m x1 x2 in
+            (ckey, pi, false)
+        in
         let tagged =
           List.map
             (fun (x1, x2) ->
-              let ckey, pi = Symm.canon_pair ~m x1 x2 in
-              (x1, x2, ckey, pi))
+              let ckey, pi, swapped = canon x1 x2 in
+              (x1, x2, ckey, pi, swapped))
             all_pairs
         in
         let rep_index : (int list * int list, int) Hashtbl.t = Hashtbl.create 16 in
         let reps = ref [] in
         List.iter
-          (fun (_, _, ckey, _) ->
+          (fun (_, _, ckey, _, _) ->
             if not (Hashtbl.mem rep_index ckey) then begin
               Hashtbl.add rep_index ckey (Hashtbl.length rep_index);
               reps := ckey :: !reps
@@ -872,11 +1015,19 @@ let search p ~xs ?depth ?max_states ?allow_drops ?max_sends_per_sender
              (fun ((cx1, cx2), rs1, rs2) ->
                search_pair_raw p ~x1:cx1 ~x2:cx2 ?depth ?max_states ?allow_drops
                  ?max_sends_per_sender ?max_sends_per_receiver ?max_seconds
-                 ~runstates:(rs1, rs2) ())
+                 ~runstates:(rs1, rs2) ?mem_budget_bytes ?stats ())
              rep_tagged);
         List.map
-          (fun (x1, x2, ckey, pi) ->
-            (x1, x2, relabel_outcome eq pi ~x1 ~x2 rep_outcomes.(Hashtbl.find rep_index ckey)))
+          (fun (x1, x2, ckey, pi, swapped) ->
+            let o = rep_outcomes.(Hashtbl.find rep_index ckey) in
+            let o =
+              if swapped then
+                (* The representative is [(x2, x1)]'s canonical image:
+                   relabel back to [(x2, x1)], then mirror the runs. *)
+                mirror_outcome (relabel_outcome eq pi ~x1:x2 ~x2:x1 o)
+              else relabel_outcome eq pi ~x1 ~x2 o
+            in
+            (x1, x2, o))
           tagged
   in
   let first_witness =
@@ -939,7 +1090,27 @@ let outcome_text = function
         (if closed then "space closed" else "truncated")
         states_explored
 
-let outcome_report ~x1 ~x2 outcome =
+(* Only the budget-invariant counters go into report IR: artifacts
+   must stay byte-identical across [mem_budget_bytes] settings (the
+   spill exactness contract E16 and m5-smoke pin with [cmp]).  The
+   budget-variant spill counters stay on {!Stats.snapshot} for callers
+   that assert against the budget. *)
+let stats_item (s : Stats.snapshot) =
+  let module R = Stdx.Report in
+  R.Metrics
+    {
+      title = Some "search resources";
+      pairs =
+        [
+          ("peak_frontier_bytes", R.int s.Stats.peak_frontier_bytes);
+          ("peak_frontier_len", R.int s.Stats.peak_frontier_len);
+          ("peak_joint_states", R.int s.Stats.peak_joint_states);
+        ];
+    }
+
+let stats_items = function None -> [] | Some s -> [ stats_item (Stats.snapshot s) ]
+
+let outcome_report ~x1 ~x2 ?stats outcome =
   let module R = Stdx.Report in
   let base =
     R.Metrics
@@ -956,9 +1127,9 @@ let outcome_report ~x1 ~x2 outcome =
   let items =
     match outcome with Witness w -> [ base; witness_item w ] | No_violation _ -> [ base ]
   in
-  R.make ~id:"attack" ~title:"impossibility attack search" items
+  R.make ~id:"attack" ~title:"impossibility attack search" (items @ stats_items stats)
 
-let search_report outcomes witness =
+let search_report ?stats outcomes witness =
   let module R = Stdx.Report in
   let t =
     R.table ~title:"all-pairs attack sweep"
@@ -978,4 +1149,4 @@ let search_report outcomes witness =
         | Some _ -> "a witness was found"
         | None -> Printf.sprintf "no witness over %d pairs" (List.length outcomes));
       ]
-    items
+    (items @ stats_items stats)

@@ -133,6 +133,46 @@ module Runstate : sig
   (** Memo hits so far — the [Sim.apply] calls the store saved. *)
 end
 
+(** Lifetime resource counters for searches and sweeps.
+
+    A [Stats.t] accumulator is threaded through any number of searches
+    (it is mutex-guarded, so the parallel sweep merges into it from
+    every domain): per-search peaks max-merge, spill volumes sum.  The
+    frontier peaks ([peak_frontier_bytes], [peak_frontier_len]) and
+    [peak_joint_states] are {e budget-invariant} — identical whether
+    the frontier spilled or stayed resident — which is what lets
+    {!outcome_report}/{!search_report} surface them in artifacts that
+    must stay byte-identical across [mem_budget_bytes] settings.  The
+    spill counters ([peak_resident_bytes], [spilled_bytes],
+    [spill_chunks]) are budget-variant by design: they are what E16
+    and the smoke targets assert against the budget, and they are
+    deliberately kept out of report IR. *)
+module Stats : sig
+  type t
+
+  type snapshot = {
+    peak_frontier_bytes : int;
+        (** worst single search's peak queued frontier bytes *)
+    peak_frontier_len : int;  (** worst single search's peak queued ints *)
+    peak_resident_bytes : int;
+        (** worst single search's peak in-memory frontier footprint;
+            under a budget, stays within
+            [max mem_budget_bytes (2 * chunk capacity)] *)
+    spilled_bytes : int;  (** total bytes written to spill files *)
+    spill_chunks : int;  (** total chunks written to spill files *)
+    peak_joint_states : int;  (** largest per-search state table *)
+  }
+
+  val create : unit -> t
+  val snapshot : t -> snapshot
+
+  val note : t -> Stdx.Frontier.stats -> joint_states:int -> unit
+  (** Merge one finished search's frontier counters and state-table
+      size into the accumulator — the seam other engines
+      ({!Core.Stab}'s corrupted-root BFS) use to report through the
+      same channel as the pair searches. *)
+end
+
 val search_pair :
   Kernel.Protocol.t ->
   x1:int list ->
@@ -144,6 +184,8 @@ val search_pair :
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
   ?runstates:Runstate.t * Runstate.t ->
+  ?mem_budget_bytes:int ->
+  ?stats:Stats.t ->
   ?symm:bool ->
   unit ->
   outcome
@@ -165,7 +207,13 @@ val search_pair :
     runs' transition stores (run 1's first) — pass stores shared with
     other pairs to reuse their memoised transitions, as {!search}
     does; when omitted, fresh private stores are created.  Sharing
-    never changes the outcome, only the work.  [symm] (default
+    never changes the outcome, only the work.  [mem_budget_bytes]
+    bounds the BFS frontier's resident memory: past the budget, full
+    chunks spill to an unlinked temp file and page back in FIFO order
+    — the outcome (and any report built from it) is byte-identical to
+    the unbounded search's, only where frontier bytes live changes.
+    [stats] names an accumulator to merge this search's resource
+    counters into (see {!Stats}).  [symm] (default
     [false]) searches the canonical relabelling of [(x1, x2)] and
     translates any witness back — a no-op unless the protocol
     declares an equivariance; ignored when [runstates] is supplied
@@ -180,6 +228,8 @@ val search_single :
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
+  ?mem_budget_bytes:int ->
+  ?stats:Stats.t ->
   ?symm:bool ->
   unit ->
   outcome
@@ -198,6 +248,19 @@ val eligible_pairs : xs:int list list -> (int list * int list) list
     experiments and benchmarks can report sweep sizes without
     duplicating the eligibility rule. *)
 
+val canon_pair_swap :
+  m:int ->
+  int list ->
+  int list ->
+  (int list * int list) * Kernel.Symm.perm * bool
+(** Canonical form of an input pair under the {e composed} quotient
+    group — data-alphabet permutations × run swap: the smaller of
+    [Symm.canon_pair ~m x1 x2] and [Symm.canon_pair ~m x2 x1].  The
+    boolean is [true] when the swapped ordering won, i.e. the
+    representative's outcome must be mirrored (runs exchanged) after
+    relabelling.  Exposed so experiments can count composed-orbit
+    representatives without re-deriving the rule {!search} applies. *)
+
 val search :
   Kernel.Protocol.t ->
   xs:int list list ->
@@ -208,7 +271,10 @@ val search :
   ?max_sends_per_receiver:int ->
   ?max_seconds:float ->
   ?jobs:int ->
+  ?mem_budget_bytes:int ->
+  ?stats:Stats.t ->
   ?symm:bool ->
+  ?swap_symm:bool ->
   unit ->
   (int list * int list * outcome) list * witness option
 (** Runs {!search_pair} on every pair in [eligible_pairs ~xs].
@@ -228,7 +294,15 @@ val search :
     inverse permutation — the outcome list keeps exactly the
     unquotiented sweep's shape while up to m! of the pair searches
     are skipped.  Stores are then keyed by canonical inputs, which
-    collide (and so share) far more often than raw inputs. *)
+    collide (and so share) far more often than raw inputs.
+    [swap_symm] (default [true], meaningful only under [symm])
+    composes the run-swap symmetry into the quotient: both orderings
+    of a pair share one representative ({!canon_pair_swap}) and
+    members whose orientation lost the canonical race get mirrored
+    outcomes — sound because the joint system is run-exchange
+    symmetric (see DESIGN.md, "Out-of-core search").
+    [mem_budget_bytes] and [stats] are threaded to every pair search
+    as in {!search_pair}. *)
 
 val run_moves : witness -> which:int -> Kernel.Move.t list
 (** Project the joint path onto one run's schedule ([which] ∈ {1,2}) —
@@ -236,12 +310,20 @@ val run_moves : witness -> which:int -> Kernel.Move.t list
 
 val pp_witness : Format.formatter -> witness -> unit
 
-val outcome_report : x1:int list -> x2:int list -> outcome -> Stdx.Report.t
+val outcome_report :
+  x1:int list -> x2:int list -> ?stats:Stats.t -> outcome -> Stdx.Report.t
 (** A single search outcome as typed IR (id ["attack"]); includes the
     witness metrics block when one was found.  [ok] is [None] — a
-    witness is the expected result when probing past the bound. *)
+    witness is the expected result when probing past the bound.
+    [stats] appends a "search resources" metrics block carrying the
+    budget-invariant counters only (peak frontier bytes/length, peak
+    joint states) — artifacts stay byte-identical across
+    [mem_budget_bytes] settings. *)
 
 val search_report :
-  (int list * int list * outcome) list -> witness option -> Stdx.Report.t
+  ?stats:Stats.t ->
+  (int list * int list * outcome) list ->
+  witness option ->
+  Stdx.Report.t
 (** The all-pairs sweep as typed IR: one row per pair plus the first
-    witness, if any. *)
+    witness, if any.  [stats] as in {!outcome_report}. *)

@@ -100,7 +100,8 @@ type witness = {
 type outcome = No_violation of { closed : bool; states : int } | Violation of witness
 
 let search ?(depth = 200) ?(max_states = 200_000) ?(allow_drops = true)
-    ?(max_sends_per_sender = 16) ?(max_sends_per_receiver = 16) p ~input () =
+    ?(max_sends_per_sender = 16) ?(max_sends_per_receiver = 16) ?mem_budget_bytes ?stats
+    p ~input () =
   let pairs = space p ~input in
   let rs = Attack.Runstate.create p ~x:(Array.to_list input) in
   (* One BFS over the union of every corrupted root's reachable space:
@@ -111,7 +112,7 @@ let search ?(depth = 200) ?(max_states = 200_000) ?(allow_drops = true)
     Hashtbl.create 1024
   in
   let visited = Stdx.Bitset.create () in
-  let frontier = Stdx.Frontier.create () in
+  let frontier = Stdx.Frontier.create ?mem_budget_bytes () in
   let result = ref None in
   let truncated = ref false in
   List.iteri
@@ -173,6 +174,12 @@ let search ?(depth = 200) ?(max_states = 200_000) ?(allow_drops = true)
           end)
         (Sim.enabled p g)
   done;
+  (match stats with
+  | Some s ->
+      Attack.Stats.note s (Stdx.Frontier.stats frontier)
+        ~joint_states:(Hashtbl.length table)
+  | None -> ());
+  Stdx.Frontier.close frontier;
   match !result with
   | None -> No_violation { closed = not !truncated; states = Hashtbl.length table }
   | Some (id, d) ->

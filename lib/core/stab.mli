@@ -73,6 +73,8 @@ val search :
   ?allow_drops:bool ->
   ?max_sends_per_sender:int ->
   ?max_sends_per_receiver:int ->
+  ?mem_budget_bytes:int ->
+  ?stats:Attack.Stats.t ->
   Kernel.Protocol.t ->
   input:int array ->
   unit ->
@@ -83,7 +85,11 @@ val search :
     the bookkeeping succinct ({!Stdx.Frontier} queue, {!Stdx.Bitset}
     visited marks over store ids).  [No_violation {closed = true}]
     means no corrupted start can reach a safety violation under the
-    caps — the exhaustive half of a stabilisation argument. *)
+    caps — the exhaustive half of a stabilisation argument.
+    [mem_budget_bytes] spills the frontier to disk past the budget
+    exactly as in {!Attack.search_pair} — outcomes are byte-identical
+    either way; [stats] merges the search's resource counters into an
+    {!Attack.Stats} accumulator. *)
 
 val replay : Kernel.Protocol.t -> input:int array -> witness -> bool
 (** Rebuild the witness's corrupted root (by label) and replay its

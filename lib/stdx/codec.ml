@@ -21,6 +21,11 @@ let ensure t extra =
     t.buf <- grown
   end
 
+let set_length t len =
+  if len < 0 then invalid_arg "Codec.set_length: negative length";
+  if len > t.len then ensure t (len - t.len);
+  t.len <- len
+
 let add_char t c =
   ensure t 1;
   Bytes.unsafe_set t.buf t.len c;

@@ -35,6 +35,14 @@ val buffer : t -> Bytes.t
     copied: it is invalidated by the next [add_*] call that grows the
     writer.  Intended for {!Intern.intern_bytes}. *)
 
+val set_length : t -> int -> unit
+(** Declare [len] bytes of the buffer valid, growing capacity if
+    needed.  Bytes between the old and new length are unspecified
+    until the caller overwrites them — this is the page-in seam for
+    {!Frontier}'s spill reader, which reads a stored chunk straight
+    into {!buffer}.
+    @raise Invalid_argument on a negative length. *)
+
 val add_byte : t -> int -> unit
 (** Append one raw byte (the low 8 bits of the argument). *)
 

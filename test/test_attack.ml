@@ -259,6 +259,59 @@ let test_e10_baseline () =
   check Alcotest.int "depth" 7 w.Attack.depth;
   check Alcotest.int "states explored" 69 w.Attack.states_explored
 
+(* The out-of-core frontier's exactness contract on the engine
+   baselines: a budgeted search (4096 B forces the pager to its
+   two-chunk floor) renders byte-identical reports to the default
+   unbounded one.  The stats rider is deliberately absent — it is the
+   budget-variant half of the API and never enters artifacts. *)
+let report_bytes ~x1 ~x2 o =
+  Stdx.Json.to_string (Stdx.Report.to_json (Attack.outcome_report ~x1 ~x2 o))
+
+let test_mem_budget_report_identity () =
+  let pin name ~x1 ~x2 search =
+    check Alcotest.string name
+      (report_bytes ~x1 ~x2 (search ?mem_budget_bytes:None ()))
+      (report_bytes ~x1 ~x2 (search ?mem_budget_bytes:(Some 4096) ()))
+  in
+  let e2 = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  pin "e2 report bytes" ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] (fun ?mem_budget_bytes () ->
+      Attack.search_pair e2 ~x1:[ 0; 1 ] ~x2:[ 1; 0 ] ?mem_budget_bytes ());
+  pin "e3 report bytes" ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] (fun ?mem_budget_bytes () ->
+      Attack.search_pair (Protocols.Norep.del ~m:2) ~x1:[ 0; 1 ] ~x2:[ 0; 0 ] ~depth:200
+        ~max_sends_per_sender:4 ~max_sends_per_receiver:4 ?mem_budget_bytes ());
+  let e10 =
+    Protocols.Stenning_mod.protocol_on (Chan.Bounded_reorder { lag = 1 }) ~domain:2
+      ~header_space:2
+  in
+  pin "e10 report bytes" ~x1:[ 0; 0; 1 ] ~x2:[ 0; 0; 1 ] (fun ?mem_budget_bytes () ->
+      Attack.search_single e10 ~x:[ 0; 0; 1 ] ~depth:80 ~max_sends_per_sender:8
+        ~max_sends_per_receiver:8 ~allow_drops:false ?mem_budget_bytes ())
+
+(* A genuinely spilling search agrees with the unbounded one outcome
+   for outcome, and its counters prove both sides of the contract:
+   chunks actually paged to disk, and the resident peak stayed at the
+   pager's floor. *)
+let test_mem_budget_spill_exactness () =
+  let p = Protocols.Norep.del ~m:4 in
+  let x1 = [ 0; 1; 2; 3 ] and x2 = [ 0; 1; 3; 2 ] in
+  let search ?mem_budget_bytes ?stats () =
+    Attack.search_pair p ~x1 ~x2 ~depth:200 ~max_sends_per_sender:4
+      ~max_sends_per_receiver:4 ?mem_budget_bytes ?stats ()
+  in
+  let stats = Attack.Stats.create () in
+  let spilled = search ~mem_budget_bytes:1 ~stats () in
+  let unbounded = search () in
+  check Alcotest.string "report bytes identical"
+    (report_bytes ~x1 ~x2 unbounded)
+    (report_bytes ~x1 ~x2 spilled);
+  let s = Attack.Stats.snapshot stats in
+  check Alcotest.bool "chunks spilled" true (s.Attack.Stats.spill_chunks > 0);
+  check Alcotest.bool "bytes spilled" true (s.Attack.Stats.spilled_bytes > 0);
+  check Alcotest.bool "resident at floor" true
+    (s.Attack.Stats.peak_resident_bytes <= 2 * 8208);
+  check Alcotest.bool "queued overflowed a chunk" true
+    (s.Attack.Stats.peak_frontier_bytes > 8192)
+
 (* Every byte of the E1-E12 quick-mode tables and notes, pinned as MD5
    digests recorded before the fault-injection layer landed: restart
    moves, recovery verdicts, and the budget plumbing must be invisible
@@ -379,6 +432,10 @@ let () =
           Alcotest.test_case "e2 dup attack" `Quick test_e2_baseline;
           Alcotest.test_case "e3 del attack" `Quick test_e3_baseline;
           Alcotest.test_case "e10 crossover cell" `Quick test_e10_baseline;
+          Alcotest.test_case "mem-budget report identity" `Quick
+            test_mem_budget_report_identity;
+          Alcotest.test_case "spilled search exactness" `Quick
+            test_mem_budget_spill_exactness;
           Alcotest.test_case "e1-e12 quick output bytes" `Slow test_experiment_digests;
           Alcotest.test_case "jobs-invariant sweep" `Quick test_search_jobs_equivalence;
           Alcotest.test_case "runstate sharing invariant" `Quick test_runstate_sharing_invariant;

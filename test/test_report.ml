@@ -252,7 +252,7 @@ let test_registry_protocols () =
 let test_registry_experiments () =
   check (Alcotest.list Alcotest.string) "experiment ids"
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
-      "E14"; "E15" ]
+      "E14"; "E15"; "E16" ]
     (Kernel.Registry.experiment_ids ());
   check Alcotest.bool "case-insensitive lookup" true
     (match Kernel.Registry.find_experiment "e3" with

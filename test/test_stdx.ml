@@ -8,6 +8,7 @@ module Stats = Stdx.Stats
 module Tabular = Stdx.Tabular
 module Intern = Stdx.Intern
 module Codec = Stdx.Codec
+module Frontier = Stdx.Frontier
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -479,6 +480,73 @@ let prop_intern_bijective =
       List.for_all2 (fun s i -> Intern.name t i = s) ss ids
       && Intern.length t = List.length (List.sort_uniq String.compare ss))
 
+(* ------------------------- Frontier ------------------------- *)
+
+(* An op list drives both a spilled frontier (tiny chunks, one-chunk
+   budget: every rotation pages through the spill file) and an
+   unbounded in-memory one; negative ops pop, non-negative ops push.
+   The pager must be invisible: identical pop sequences, identical
+   lengths, for arbitrary interleavings. *)
+let prop_frontier_spill_transparent =
+  QCheck.Test.make ~count:300 ~name:"frontier: spilled = unbounded pop sequence"
+    QCheck.(list (int_range (-1) 1_000_000))
+    (fun ops ->
+      let spilled = Frontier.create ~chunk_bytes:32 ~mem_budget_bytes:1 () in
+      let unbounded = Frontier.create () in
+      let interp f =
+        let popped = ref [] in
+        List.iter
+          (fun op ->
+            if op < 0 then begin
+              if not (Frontier.is_empty f) then popped := Frontier.pop f :: !popped
+            end
+            else Frontier.push f op)
+          ops;
+        (* Drain what remains so the law covers the tail too. *)
+        while not (Frontier.is_empty f) do
+          popped := Frontier.pop f :: !popped
+        done;
+        List.rev !popped
+      in
+      let a = interp spilled and b = interp unbounded in
+      Frontier.close spilled;
+      Frontier.close unbounded;
+      a = b)
+
+let test_frontier_spill_stats () =
+  let f = Frontier.create ~chunk_bytes:32 ~mem_budget_bytes:1 () in
+  for i = 0 to 999 do
+    Frontier.push f (i * 1000)
+  done;
+  let s = Frontier.stats f in
+  check Alcotest.bool "chunks spilled" true (s.Frontier.spill_chunks > 0);
+  check Alcotest.bool "bytes spilled" true (s.Frontier.spilled_bytes > 0);
+  check Alcotest.bool "resident bounded" true
+    (s.Frontier.peak_resident_bytes <= 2 * (32 + 16));
+  check Alcotest.int "peak ids" 1000 s.Frontier.peak_len;
+  for i = 0 to 999 do
+    check Alcotest.int "fifo through spill" (i * 1000) (Frontier.pop f)
+  done;
+  check Alcotest.bool "drained" true (Frontier.is_empty f);
+  (* clear rewinds the spill write offset; the pool keeps working. *)
+  Frontier.push f 7;
+  Frontier.clear f;
+  check Alcotest.bool "cleared" true (Frontier.is_empty f);
+  Frontier.push f 9;
+  check Alcotest.int "usable after clear" 9 (Frontier.pop f);
+  Frontier.close f;
+  Frontier.close f (* idempotent *)
+
+let test_frontier_unbounded_never_spills () =
+  let f = Frontier.create ~chunk_bytes:32 () in
+  for i = 0 to 999 do
+    Frontier.push f i
+  done;
+  let s = Frontier.stats f in
+  check Alcotest.int "no spill without budget" 0 s.Frontier.spill_chunks;
+  check Alcotest.bool "bytes tracked" true (s.Frontier.peak_bytes > 0);
+  Frontier.close f
+
 let () =
   Alcotest.run "stdx"
     [
@@ -562,5 +630,12 @@ let () =
           Alcotest.test_case "intern_bytes slice" `Quick test_intern_bytes_slice;
           qtest prop_intern_bijective;
           qtest prop_codec_intern_bytes_agrees;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "spill stats and fifo" `Quick test_frontier_spill_stats;
+          Alcotest.test_case "no budget, no spill" `Quick
+            test_frontier_unbounded_never_spills;
+          qtest prop_frontier_spill_transparent;
         ] );
     ]

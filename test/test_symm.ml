@@ -222,6 +222,84 @@ let test_orbit_reduction_counts () =
       check Alcotest.bool "orbit keys are canonical" true (c1' = c1 && c2' = c2))
     orbits
 
+(* ------------------------- the swap quotient ------------------------- *)
+
+(* ~symm now composes the alphabet quotient with the joint-space run
+   swap: for a swap-asymmetric pair only one ordering is searched and
+   the other's outcome is mirrored back.  The composition must stay
+   invisible — same outcome lists as the plain sweep — while strictly
+   shrinking the representative set. *)
+
+let test_swap_sweep_matches_plain () =
+  let p = Protocols.Norep.del ~m:3 in
+  let xs = Seqspace.Norep.enumerate ~m:3 in
+  let run ~symm ~swap_symm =
+    let outcomes, _ =
+      Attack.search p ~xs ~depth:200 ~max_sends_per_sender:3 ~max_sends_per_receiver:3
+        ~symm ~swap_symm ()
+    in
+    List.map (fun (a, b, o) -> (a, b, strip o)) outcomes
+  in
+  let plain = run ~symm:false ~swap_symm:true in
+  check Alcotest.bool "composed quotient = plain sweep" true
+    (run ~symm:true ~swap_symm:true = plain);
+  check Alcotest.bool "perm-only quotient = plain sweep" true
+    (run ~symm:true ~swap_symm:false = plain)
+
+let test_swap_sweep_witness_parity () =
+  (* Witness outcomes survive the mirror: a sweep whose pairs include
+     safety witnesses (the counting protocol beyond its bound) reports
+     the same verdict, violated run, depth, and state count whether the
+     ordering searched was the literal one or its swap image. *)
+  let p = Protocols.Counting.protocol_on Chan.Reorder_dup ~domain:2 in
+  let xs = [ [ 0; 1 ]; [ 1; 0 ]; [ 0 ]; [ 1 ] ] in
+  let run ~symm =
+    let outcomes, _ = Attack.search p ~xs ~depth:24 ~symm () in
+    List.map (fun (a, b, o) -> (a, b, strip o)) outcomes
+  in
+  check Alcotest.bool "witness sweep: quotient = plain" true
+    (run ~symm:true = run ~symm:false)
+
+let test_swap_artifact_bytes () =
+  (* The acceptance contract, engine-level: quotiented and plain sweeps
+     of the closed fixture write byte-identical artifacts. *)
+  let p = Protocols.Norep.del ~m:2 in
+  let xs = [ [ 0; 1 ]; [ 1; 0 ]; [ 0 ]; [ 1 ] ] in
+  let bytes ~symm =
+    let outcomes, witness = Attack.search p ~xs ~depth:64 ~symm () in
+    Stdx.Json.to_string (Stdx.Report.to_json (Attack.search_report outcomes witness))
+  in
+  check Alcotest.string "artifact bytes" (bytes ~symm:false) (bytes ~symm:true)
+
+let test_swap_reduction_m4 () =
+  (* The strict win on the E14 space: composing the run swap shrinks
+     the m=4 representative set from 106 perm-orbits to 91, over the
+     1884 eligible pairs.  Composed keys are fixpoints: the canonical
+     pair canonicalises to itself, unswapped. *)
+  let m = 4 in
+  let xs = Seqspace.Norep.enumerate ~m in
+  let pairs = Attack.eligible_pairs ~xs in
+  let perm_orbits = Hashtbl.create 256 in
+  let swap_orbits = Hashtbl.create 256 in
+  List.iter
+    (fun (x1, x2) ->
+      let key, _ = Symm.canon_pair ~m x1 x2 in
+      Hashtbl.replace perm_orbits key ();
+      let skey, _, _ = Attack.canon_pair_swap ~m x1 x2 in
+      Hashtbl.replace swap_orbits skey ())
+    pairs;
+  check Alcotest.int "eligible pairs" 1884 (List.length pairs);
+  check Alcotest.int "perm-only representatives" 106 (Hashtbl.length perm_orbits);
+  check Alcotest.int "composed representatives" 91 (Hashtbl.length swap_orbits);
+  check Alcotest.bool "strict reduction" true
+    (Hashtbl.length swap_orbits < Hashtbl.length perm_orbits);
+  Hashtbl.iter
+    (fun (c1, c2) () ->
+      let (c1', c2'), _, swapped = Attack.canon_pair_swap ~m c1 c2 in
+      check Alcotest.bool "composed keys are fixpoints" true
+        (c1' = c1 && c2' = c2 && not swapped))
+    swap_orbits
+
 let () =
   Alcotest.run "symm"
     [
@@ -248,5 +326,12 @@ let () =
           Alcotest.test_case "e2 states with symm off" `Quick test_e2_parity_nosymm;
           Alcotest.test_case "e3 states with symm off" `Quick test_e3_parity_nosymm;
           Alcotest.test_case "e10 states with symm off" `Quick test_e10_parity_nosymm;
+        ] );
+      ( "swap quotient",
+        [
+          Alcotest.test_case "composed sweep = plain" `Quick test_swap_sweep_matches_plain;
+          Alcotest.test_case "witness sweep parity" `Quick test_swap_sweep_witness_parity;
+          Alcotest.test_case "artifact bytes identical" `Quick test_swap_artifact_bytes;
+          Alcotest.test_case "strict m=4 reduction" `Quick test_swap_reduction_m4;
         ] );
     ]
