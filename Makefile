@@ -51,14 +51,19 @@ serve-smoke:
 	_build/default/bin/stp_cli.exe serve --once examples/serve_jobs.json --results-only --jobs 4 --timeslice 7 --json _build/stp_serve_j4.json > /dev/null
 	cmp _build/stp_serve_j1.json _build/stp_serve_j4.json
 
-# The self-stabilisation gate: sweep every corrupted start of the
-# stabilising ABP (artifact ok is load-bearing — any non-converging
-# point fails it), run the corrupted-start soak battery, and validate
-# both artifacts against the report schema.
+# The self-stabilisation gate: sweep every corrupted start of each
+# stabilising family (artifact ok is load-bearing — any non-converging
+# point fails it), run the multi-family corrupted-start soak battery
+# (composed mid-run faults included), and validate every artifact
+# against the report schema.
 stab-smoke:
 	dune build bin/stp_cli.exe
 	_build/default/bin/stp_cli.exe stab --json _build/stp_stab_smoke.json
 	_build/default/bin/stp_cli.exe validate _build/stp_stab_smoke.json
+	_build/default/bin/stp_cli.exe stab -p stenning-stab --json _build/stp_stab_stn.json > /dev/null
+	_build/default/bin/stp_cli.exe validate _build/stp_stab_stn.json
+	_build/default/bin/stp_cli.exe stab -p gbn-stab --search --json _build/stp_stab_gbn.json > /dev/null
+	_build/default/bin/stp_cli.exe validate _build/stp_stab_gbn.json
 	_build/default/bin/stp_cli.exe soak --stab --seed 5 --random-plans 1 --json _build/stp_stab_soak.json
 	_build/default/bin/stp_cli.exe validate _build/stp_stab_soak.json
 
@@ -88,11 +93,11 @@ m5-smoke:
 	cmp _build/stp_m5_spill.json _build/stp_m5_mem.json
 	_build/default/bin/stp_cli.exe validate _build/stp_m5_spill.json
 
-# The committed perf baseline (BENCH_PR9.json): a real-quota timing
+# The committed perf baseline (BENCH_PR10.json): a real-quota timing
 # artifact checked into the repo so future changes can be compared
 # against it with `make perf-gate`.
 bench-artifact:
-	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR9.json
+	dune exec bench/main.exe -- --micro --quota 1.0 --json BENCH_PR10.json
 
 # Enforcing perf gate: run three independent timing passes and diff
 # the per-benchmark minimum against the committed baseline with a
@@ -106,7 +111,7 @@ perf-gate:
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest1.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest2.json
 	_build/default/bench/main.exe --micro --quota 0.5 --json _build/BENCH_latest3.json
-	_build/default/bench/perf_gate.exe BENCH_PR9.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
+	_build/default/bench/perf_gate.exe BENCH_PR10.json _build/BENCH_latest1.json _build/BENCH_latest2.json _build/BENCH_latest3.json
 
 clean:
 	dune clean

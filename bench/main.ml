@@ -284,6 +284,22 @@ let stab_sweep_workload =
       (Core.Stab.sweep ~jobs:1 (Lazy.force p) ~input:[| 0; 1; 1; 0 |] ~within:256 ~seed:7 ()
         : Core.Stab.sweep)
 
+(* The widest corrupted-start space in the registry: ladder's rank ×
+   echo enumeration (13 × 19 points on the small xset) swept to
+   completion.  Exercises the per-point drive loop over a perturb
+   space an order of magnitude larger than abp-stab's. *)
+let stab_sweep_ladder_workload =
+  let p =
+    lazy
+      (Protocols.Ladder.protocol
+         ~xset:(Seqspace.Xset.All_upto { domain = 2; max_len = 2 })
+         ~drop_budget:1)
+  in
+  fun () ->
+    ignore
+      (Core.Stab.sweep ~jobs:1 (Lazy.force p) ~input:[| 0; 1 |] ~within:256 ~seed:7 ()
+        : Core.Stab.sweep)
+
 (* The event-queue scheduler at batch scale: a 1k-session mixed
    battery (three protocols × stateless strategies × split seeds)
    timesliced through one queue.  Sessions are rebuilt every iteration
@@ -327,6 +343,7 @@ let benches =
     ("e12_recoverability", e12_workload);
     ("soak_battery", soak_workload);
     ("stab_sweep", stab_sweep_workload);
+    ("stab_sweep_ladder", stab_sweep_ladder_workload);
     ("sched_batch", sched_batch_workload);
     ("sweep_allpairs_shared", sweep_shared_workload);
     ("sweep_allpairs_nomemo", sweep_nomemo_workload);

@@ -9,7 +9,7 @@
      verify       batch-verify a protocol over its allowable set
      recover      dead-state (Property 2) analysis
      census       sample random protocols at m=1 (E9)
-     experiments  run the E1-E15 reproduction experiments
+     experiments  run the E1-E17 reproduction experiments
      soak         fault-injection soak battery with recovery verdicts
                   (--stab swaps in the corrupted-start battery)
      stab         corrupted-start stabilisation sweep over a protocol's
@@ -542,7 +542,7 @@ let experiments_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~doc:"Run only this experiment id (repeatable).")
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the E1-E15 reproduction experiments.")
+    (Cmd.info "experiments" ~doc:"Run the E1-E17 reproduction experiments.")
     Term.(ret (const experiments_run $ quick $ only $ format_arg $ json_arg))
 
 (* ---------------- soak ---------------- *)
@@ -577,8 +577,11 @@ let soak_cmd =
       & info [ "stab" ]
           ~doc:
             "Run the corrupted-start battery instead: every single-sided corrupted start of \
-             the stabilising ABP as a $(b,corrupt-state) plan, stock ABP for contrast, plus \
-             seeded random plans mixing sender corruption with the ordinary fault kinds.")
+             each stabilising family (abp-stab, stenning-stab, gbn-stab) as a \
+             $(b,corrupt-state) plan, composed plans pairing corrupted starts with mid-run \
+             faults (including mid-run receiver corruption), stock ABP for contrast, plus \
+             seeded random plans drawing from the full corruption space alongside the \
+             ordinary fault kinds.")
   in
   let max_seconds =
     Arg.(

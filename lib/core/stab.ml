@@ -16,7 +16,9 @@ let space p ~input =
       (match Protocol.validate_perturb p ~input with
       | Ok () -> ()
       | Error e -> invalid_arg (p.Protocol.name ^ ": invalid corrupted-start space: " ^ e));
-      let rs = pe.Protocol.receiver_states () in
+      (* Corrupted starts: the output tape is empty, so the receiver
+         enumeration is taken at written = 0. *)
+      let rs = pe.Protocol.receiver_states ~written:0 in
       List.concat_map
         (fun s -> List.map (fun r -> (s, r)) rs)
         (pe.Protocol.sender_states ~input)
@@ -223,6 +225,40 @@ let relabel_witness eq pi w =
 
 (* ------------------------- reporting ------------------------- *)
 
+let margins s =
+  let agg key_of =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun pt ->
+        let k = key_of pt in
+        let cell =
+          match Hashtbl.find_opt tbl k with
+          | Some c -> c
+          | None ->
+              let c = ref (0, 0, None) in
+              Hashtbl.add tbl k c;
+              order := k :: !order;
+              c
+        in
+        let n, st, wt = !cell in
+        let st = if pt.verdict.Verdict.stabilised = Some true then st + 1 else st in
+        let wt =
+          match (wt, pt.tts) with
+          | None, t -> t
+          | Some a, Some t -> Some (max a t)
+          | Some a, None -> Some a
+        in
+        cell := (n + 1, st, wt))
+      s.points;
+    List.rev_map
+      (fun k ->
+        let n, st, wt = !(Hashtbl.find tbl k) in
+        (k, n, st, wt))
+      !order
+  in
+  (agg (fun pt -> pt.s_label), agg (fun pt -> pt.r_label))
+
 let sweep_report ?(title = "corrupted-start stabilisation sweep") s =
   let t =
     Report.table ~title:"per-point verdicts over the corrupted-start space"
@@ -266,13 +302,40 @@ let sweep_report ?(title = "corrupted-start stabilisation sweep") s =
           ];
       }
   in
+  (* The marginals: which single-register corruption is the slowest
+     (or non-converging) one, without scanning the product table. *)
+  let mt =
+    Report.table ~title:"per-start marginals (worst tts over the opposite side)"
+      [
+        ("side", Report.Left);
+        ("start", Report.Left);
+        ("points", Report.Right);
+        ("stabilised", Report.Right);
+        ("worst_tts", Report.Right);
+      ]
+  in
+  let s_margin, r_margin = margins s in
+  List.iter
+    (fun (side, rows) ->
+      List.iter
+        (fun (label, n, st, wt) ->
+          Report.row mt
+            [
+              Report.str side;
+              Report.str label;
+              Report.int n;
+              Report.int st;
+              (match wt with Some t -> Report.int t | None -> Report.str "-");
+            ])
+        rows)
+    [ ("S", s_margin); ("R", r_margin) ];
   Report.make ~id:"stab" ~title ~ok:s.all_stabilised
     ~notes:
       [
         "stabilised = safe, complete, and done within the step budget from a corrupted \
          start; worst_tts maximises time-to-stabilise over the enumerated space";
       ]
-    [ metrics; Report.finish t ]
+    [ metrics; Report.finish t; Report.finish mt ]
 
 let outcome_items o =
   match o with

@@ -101,9 +101,18 @@ val relabel_witness : Kernel.Symm.equivariance -> (int -> int) -> witness -> wit
 (** Translate a witness through a data-alphabet permutation (moves via
     {!Kernel.Symm.relabel_move}; corruption labels pass through, which
     is sound exactly when the protocol's perturb enumeration is
-    data-independent — true of every enumeration in the repo).  With
-    {!replay} this is the relabel-replayability contract: a witness
-    found on input [x] replays to a real violation on [π(x)]. *)
+    data-independent — true of the counter-and-flag enumerations
+    (abp, abp-stab, stenning, stenning-mod, stenning-stab, go-back-n,
+    gbn-stab), NOT of selective-repeat, whose poisoned buffers hold
+    literal data values).  With {!replay} this is the
+    relabel-replayability contract: a witness found on input [x]
+    replays to a real violation on [π(x)]. *)
+
+val margins : sweep -> (string * int * int * int option) list * (string * int * int * int option) list
+(** Per-start marginal aggregates [(label, points, stabilised,
+    worst_tts)], first grouped by sender start and then by receiver
+    start, in enumeration order — which single-register corruption is
+    the slowest to recover from, without scanning the product table. *)
 
 val sweep_report : ?title:string -> sweep -> Stdx.Report.t
 (** The sweep as typed IR (id ["stab"], [ok = all_stabilised] — a

@@ -80,7 +80,9 @@ let default_battery ?(random_plans = 4) ~seed () =
 let corrupt ~at ~who ~index = Plan.Corrupt_state { at; who; index }
 
 let stab_battery ?(random_plans = 2) ~seed () =
-  let stab = Protocols.Abp_stab.protocol ~domain:2 ~max_len:4 in
+  let abp_stab = Protocols.Abp_stab.protocol ~domain:2 ~max_len:4 in
+  let stn_stab = Protocols.Stenning_stab.protocol ~domain:2 ~max_len:4 in
+  let gbn_stab = Protocols.Gbn_stab.protocol ~domain:2 ~max_len:4 ~window:2 in
   let abp = Protocols.Abp.protocol ~domain:2 in
   let input = [| 0; 1; 1; 0 |] in
   let sizes p =
@@ -88,7 +90,6 @@ let stab_battery ?(random_plans = 2) ~seed () =
     | Some sp -> sp
     | None -> invalid_arg (p.Kernel.Protocol.name ^ ": no corrupted-start space")
   in
-  let ns, nr = sizes stab in
   let abp_ns, _ = sizes abp in
   (* The corrupted-start resync costs a couple of full round trips
      more than an in-protocol drop, so the window is wider than the
@@ -96,20 +97,58 @@ let stab_battery ?(random_plans = 2) ~seed () =
   let case label protocol plan =
     { label; protocol; input; plan; base = Strategy.round_robin; within = 256; max_steps = 20_000 }
   in
-  (* Scripted: every single-sided corrupted start of the stabilising
-     protocol, sender corruptions at t=0 and receiver ones at t=1 —
-     both before any write can land, so these are genuine corrupted
-     {e starts}.  (A mid-run receiver corruption would reset the
-     written-count mirror underneath a non-empty output tape, exactly
-     the corruption the {!Kernel.Protocol.perturb} convention
-     excludes.) *)
+  (* Scripted: every single-sided corrupted start of each stabilising
+     family, sender corruptions at t=0 and receiver ones at t=1.
+     Receiver corruption is legal at {e any} time under the
+     written-count convention — the enumeration re-anchors to the live
+     tape length — but t=1 keeps these points comparable to the
+     corrupted-{e start} sweeps of E15/E17. *)
   let scripted =
-    List.init ns (fun i ->
-        case (Printf.sprintf "abp-stab/cS%d" i) stab
-          { Plan.name = Printf.sprintf "cS%d" i; events = [ corrupt ~at:0 ~who:Plan.Sender ~index:i ] })
-    @ List.init nr (fun i ->
-        case (Printf.sprintf "abp-stab/cR%d" i) stab
-          { Plan.name = Printf.sprintf "cR%d" i; events = [ corrupt ~at:1 ~who:Plan.Receiver ~index:i ] })
+    List.concat_map
+      (fun (tag, p) ->
+        let ns, nr = sizes p in
+        List.init ns (fun i ->
+            case (Printf.sprintf "%s/cS%d" tag i) p
+              { Plan.name = Printf.sprintf "cS%d" i;
+                events = [ corrupt ~at:0 ~who:Plan.Sender ~index:i ] })
+        @ List.init nr (fun i ->
+            case (Printf.sprintf "%s/cR%d" tag i) p
+              { Plan.name = Printf.sprintf "cR%d" i;
+                events = [ corrupt ~at:1 ~who:Plan.Receiver ~index:i ] }))
+      [ ("abp-stab", abp_stab); ("stenning-stab", stn_stab); ("gbn-stab", gbn_stab) ]
+  in
+  (* Composed: a corrupted start followed by mid-run faults in the same
+     plan — the stabiliser must resync and then ride out ordinary
+     noise.  The midR cases corrupt the receiver long after writes
+     have landed, exercising the mid-run re-anchoring directly. *)
+  let composed =
+    [
+      case "abp-stab/cS4+drop3" abp_stab
+        { Plan.name = "cS4+drop3";
+          events =
+            [ corrupt ~at:0 ~who:Plan.Sender ~index:4;
+              Plan.Drop_burst { at = 10; target = Plan.To_receiver; count = 3 } ] };
+      case "abp-stab/drop1+midR" abp_stab
+        { Plan.name = "drop1+midR";
+          events =
+            [ Plan.Drop_burst { at = 4; target = Plan.To_sender; count = 1 };
+              corrupt ~at:40 ~who:Plan.Receiver ~index:0 ] };
+      case "stenning-stab/cS4+storm" stn_stab
+        { Plan.name = "cS4+storm";
+          events =
+            [ corrupt ~at:0 ~who:Plan.Sender ~index:4; Plan.Reorder_storm { at = 6; len = 4 } ] };
+      case "gbn-stab/cR1+crashS" gbn_stab
+        { Plan.name = "cR1+crashS";
+          events =
+            [ corrupt ~at:1 ~who:Plan.Receiver ~index:1;
+              Plan.Crash_restart { at = 12; who = Plan.Sender } ] };
+      case "gbn-stab/cS2+blackout+midR" gbn_stab
+        { Plan.name = "cS2+blackout+midR";
+          events =
+            [ corrupt ~at:0 ~who:Plan.Sender ~index:2;
+              Plan.Blackout { at = 8; len = 4 };
+              corrupt ~at:48 ~who:Plan.Receiver ~index:1 ] };
+    ]
   in
   (* Contrast: stock ABP from the same kind of corrupted starts — the
      battery records which ones it fails to ride out. *)
@@ -118,20 +157,24 @@ let stab_battery ?(random_plans = 2) ~seed () =
         case (Printf.sprintf "abp/cS%d" i) abp
           { Plan.name = Printf.sprintf "cS%d" i; events = [ corrupt ~at:0 ~who:Plan.Sender ~index:i ] })
   in
-  (* Random plans mix sender corruption (safe at any time: the sender
-     only ever sends truthful pairs and resyncs on the next ack) with
-     the ordinary fault kinds; receiver corruption stays scripted-only
-     for the reason above, hence the (ns, 0) space. *)
+  (* Random plans draw from the full (ns, nr) corruption space — the
+     written-count convention makes a randomly-timed receiver
+     corruption as legal as a sender one.  Per-protocol [Rng.split]
+     streams keep each family's draws independent of the others. *)
   let rng = Rng.create seed in
   let random_cases =
-    List.init random_plans (fun i ->
-        let plan =
-          Plan.random ~channel:stab.Kernel.Protocol.channel ~rng:(Rng.split rng i)
-            ~corrupt_space:(ns, 0) ~name:(Printf.sprintf "rnd%d" i) ()
-        in
-        case (Printf.sprintf "abp-stab/rnd%d" i) stab plan)
+    List.concat_map
+      (fun (stream, tag, p) ->
+        List.init random_plans (fun i ->
+            let plan =
+              Plan.random ~channel:p.Kernel.Protocol.channel
+                ~rng:(Rng.split (Rng.split rng stream) i)
+                ~corrupt_space:(sizes p) ~name:(Printf.sprintf "rnd%d" i) ()
+            in
+            case (Printf.sprintf "%s/rnd%d" tag i) p plan))
+      [ (0, "abp-stab", abp_stab); (1, "stenning-stab", stn_stab); (2, "gbn-stab", gbn_stab) ]
   in
-  scripted @ contrast @ random_cases
+  scripted @ composed @ contrast @ random_cases
 
 (* ------------------------- the report ------------------------- *)
 

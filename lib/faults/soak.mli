@@ -49,13 +49,17 @@ val default_battery : ?random_plans:int -> seed:int -> unit -> case list
     protocol's channel. *)
 
 val stab_battery : ?random_plans:int -> seed:int -> unit -> case list
-(** The corrupted-start battery: every single-sided corrupted start of
-    the stabilising ABP as a scripted {!Plan.Corrupt_state} plan
-    (sender corruptions injected at t=0, receiver at t=1 — before any
-    write can land), the same sender corruptions against stock ABP for
-    contrast, plus [random_plans] (default 2) seeded plans mixing
-    sender corruption with the ordinary fault kinds.  Deterministic
-    under {!run} at every job count like the default battery. *)
+(** The corrupted-start battery over the stabilising families
+    (abp-stab, stenning-stab, gbn-stab): every single-sided corrupted
+    start as a scripted {!Plan.Corrupt_state} plan (sender corruptions
+    injected at t=0, receiver at t=1), composed plans pairing a
+    corrupted start with mid-run faults — including mid-run receiver
+    corruptions, legal at any tape length under the written-count
+    convention — the same sender corruptions against stock ABP for
+    contrast, plus [random_plans] (default 2) seeded plans per family
+    drawing from the full (sender × receiver) corruption space
+    alongside the ordinary fault kinds.  Deterministic under {!run}
+    at every job count like the default battery. *)
 
 val run :
   ?jobs:int -> ?max_seconds:float -> seed:int -> case list -> Stdx.Report.t

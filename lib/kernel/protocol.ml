@@ -2,7 +2,7 @@ type corrupted = { label : string; proc : Proc.t }
 
 type perturb = {
   sender_states : input:int array -> corrupted list;
-  receiver_states : unit -> corrupted list;
+  receiver_states : written:int -> corrupted list;
 }
 
 type t = {
@@ -19,7 +19,9 @@ type t = {
 let corrupt_space t ~input =
   match t.perturb with
   | None -> None
-  | Some pe -> Some (List.length (pe.sender_states ~input), List.length (pe.receiver_states ()))
+  | Some pe ->
+      Some
+        (List.length (pe.sender_states ~input), List.length (pe.receiver_states ~written:0))
 
 let validate_action ~is_sender ~alphabet action =
   match action with
@@ -60,7 +62,21 @@ let validate_perturb t ~input =
                       acc actions)
               (Ok ()) cs
       in
+      let rs0 = pe.receiver_states ~written:0 in
+      let rsn = pe.receiver_states ~written:(Array.length input) in
       Result.bind
         (check ~is_sender:true ~alphabet:t.sender_alphabet "sender" (pe.sender_states ~input))
         (fun () ->
-          check ~is_sender:false ~alphabet:t.receiver_alphabet "receiver" (pe.receiver_states ()))
+          Result.bind (check ~is_sender:false ~alphabet:t.receiver_alphabet "receiver" rs0)
+            (fun () ->
+              Result.bind
+                (check ~is_sender:false ~alphabet:t.receiver_alphabet "receiver (mid-run)" rsn)
+                (fun () ->
+                  (* The written-count convention: indices must name the
+                     same corruption at every injection time, so the
+                     label sequence may not depend on [written]. *)
+                  if List.map (fun c -> c.label) rs0 <> List.map (fun c -> c.label) rsn then
+                    Error
+                      "receiver corrupted-start labels depend on the written count (the \
+                       enumeration must be written-invariant)"
+                  else Ok ())))

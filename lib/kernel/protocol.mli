@@ -19,18 +19,33 @@ type corrupted = { label : string; proc : Proc.t }
 
 type perturb = {
   sender_states : input:int array -> corrupted list;
-  receiver_states : unit -> corrupted list;
+  receiver_states : written:int -> corrupted list;
 }
 (** The protocol's declared corrupted-start space: the finite
     enumerations of local states a transient fault may leave each
     machine in.  Contract: the first element of each enumeration is the
-    designated initial state (index 0 ≡ a clean boot), so
+    designated initial state (index 0 ≡ a clean boot when [written = 0],
+    and the uncorrupted-equivalent state at any later point), so
     [Move.Corrupt_sender 0] is always a no-op corruption; receivers may
     not depend on the input (Property 1a) and neither may their
-    corrupted states.  The receiver's mirror of the output tape (its
-    written count) is environment-anchored and excluded by convention:
-    the output tape itself is append-only and unreadable, so no
-    protocol could stabilise from a corruption of it. *)
+    corrupted states.
+
+    {b The written-count convention.}  The receiver's mirror of the
+    output tape is environment-anchored: the tape itself is append-only
+    and unreadable, so no protocol could stabilise from a corruption of
+    it, and a mid-run corruption that rewound the mirror beneath a
+    non-empty tape would manufacture violations no transient fault can
+    cause.  [receiver_states ~written] therefore enumerates corruptions
+    {e around} the anchored mirror: every enumerated state's
+    tape-mirror component equals [written], while everything else
+    (phase flags, header offsets, reassembly buffers, auxiliary
+    counters) varies.  Corrupted {e starts} use [written = 0]; a fault
+    plan's mid-run [corrupt-state] event is applied at the live tape
+    length — which is what makes receiver corruption drawable at any
+    time by {!Faults.Plan.random}.  The enumeration's length and label
+    sequence must not depend on [written] (checked by
+    {!validate_perturb}), so plan validation against {!corrupt_space}
+    is sound at every injection time. *)
 
 type t = {
   name : string;
@@ -54,17 +69,21 @@ type t = {
 
 val corrupt_space : t -> input:int array -> (int * int) option
 (** Sizes [(sender_states, receiver_states)] of the declared
-    corrupted-start enumerations for this input, or [None] when the
-    protocol has no [perturb] seam — the bound fault-plan validation
-    checks [corrupt-state] indices against. *)
+    corrupted-start enumerations for this input (receiver sizes taken
+    at [written = 0] — invariant in [written] by the perturb contract),
+    or [None] when the protocol has no [perturb] seam — the bound
+    fault-plan validation checks [corrupt-state] indices against. *)
 
 val validate_perturb : t -> input:int array -> (unit, string) result
 (** Sanity-checks the declared corrupted-start space: both enumerations
-    non-empty with distinct labels, and every enumerated state emits
+    non-empty with distinct labels, every enumerated state emits
     only alphabet-legal actions when woken — the same
     {!validate_action} discipline the simulator applies to every step,
     so a corruption can never smuggle an out-of-alphabet message into
-    a sweep. *)
+    a sweep — and the receiver enumeration's label sequence is
+    invariant across written counts (checked at [written = 0] and
+    [written = length input]), so mid-run corruption indices mean the
+    same corruption at every injection time. *)
 
 val validate_action : is_sender:bool -> alphabet:int -> Action.t -> (unit, string) result
 (** Checks an emitted action against the model: senders never [Write];

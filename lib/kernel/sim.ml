@@ -93,7 +93,12 @@ let apply (p : Protocol.t) (g : Global.t) move =
         | None ->
             raise (Model_violation "corrupt R: protocol declares no corrupted-start space")
         | Some pe -> (
-            let cs = pe.Protocol.receiver_states () in
+            (* The written-count convention: the receiver's mirror of
+               the output tape is environment-anchored, so a mid-run
+               corruption is drawn from the enumeration at the live
+               tape length — the fault scrambles phase flags and
+               buffers around a mirror it cannot touch. *)
+            let cs = pe.Protocol.receiver_states ~written:(Global.output_length g) in
             match List.nth_opt cs i with
             | None ->
                 raise

@@ -88,8 +88,12 @@ let protocol_on channel ~domain =
                       })
                     [ 0; 1 ])
                 (List.init (n + 1) Fun.id));
+          (* The ABP receiver keeps no mirror of the output tape — its
+             whole local state (expected bit, started flag) is fair
+             game at any written count, which is exactly why it cannot
+             stabilise. *)
           receiver_states =
-            (fun () ->
+            (fun ~written:_ ->
               List.concat_map
                 (fun expected ->
                   List.map

@@ -93,7 +93,7 @@ let protocol_on channel ~domain ~max_len =
                     proc = Proc.make ~state:{ input; domain; cursor } ~step:sender_step ();
                   }));
           receiver_states =
-            (fun () ->
+            (fun ~written ->
               List.map
                 (fun started ->
                   {
@@ -101,7 +101,7 @@ let protocol_on channel ~domain ~max_len =
                       (if started then "R:started" else "R:fresh");
                     proc =
                       Proc.make
-                        ~state:{ r_domain = domain; written = 0; started }
+                        ~state:{ r_domain = domain; written; started }
                         ~step:receiver_step ();
                   })
                 [ false; true ]);

@@ -70,8 +70,52 @@ let protocol_on channel ~domain ~window =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; r_modulus = modulus; expected = 0 }
           ~step:receiver_step ());
-    symmetry = None;
-    perturb = None;
+    (* Frames are (seq, data) with the data slot generic;
+       acknowledgements carry only a sequence number. *)
+    symmetry =
+      Some
+        {
+          Kernel.Symm.on_sender_msg =
+            (fun pi m ->
+              let seq = m / domain and data = m mod domain in
+              (seq * domain) + pi data);
+          on_receiver_msg = (fun _ a -> a);
+        };
+    (* The corrupted-start space: every sender [base] position (cursor
+       re-anchored to base) and every receiver counter phase.  As with
+       stenning-mod, the receiver's [expected] register mirrors the
+       tape length but only its residue mod M is visible on the wire,
+       so corruption is an offset in [0, M) against the anchored
+       mirror.  A base-aliased sender paired with a clean receiver
+       writes a frame from the wrong window residue: the sequence
+       space M = window+1 that suffices from a clean start is too
+       small to recover from a scrambled one (E17 finds the witness). *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              let n = Array.length input in
+              List.init (n + 1) (fun base ->
+                  {
+                    Protocol.label = Printf.sprintf "S:base=%d" base;
+                    proc =
+                      Proc.make
+                        ~state:{ input; domain; window; modulus; base; cursor = base }
+                        ~step:sender_step ();
+                  }));
+          receiver_states =
+            (fun ~written ->
+              List.init modulus (fun offset ->
+                  {
+                    Protocol.label = Printf.sprintf "R:offset=%d" offset;
+                    proc =
+                      Proc.make
+                        ~state:
+                          { r_domain = domain; r_modulus = modulus; expected = written + offset }
+                        ~step:receiver_step ();
+                  }));
+        };
   }
 
 let protocol ~domain ~window = protocol_on Channel.Chan.Fifo_lossy ~domain ~window

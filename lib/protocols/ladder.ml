@@ -48,8 +48,13 @@ let receiver_step xset r event =
       if m = sym_a then ({ r with got_a = r.got_a + 1 }, [ Action.Send sym_y ])
       else if r.decoded then (r, [])
       else begin
-        (* First terminator: (k−1)·W < got_a ≤ k·W, so k is exact. *)
-        let k = (r.got_a + r.r_w - 1) / r.r_w in
+        (* First terminator: (k−1)·W < got_a ≤ k·W, so k is exact.
+           From a clean start got_a never exceeds kmax·W; a corrupted
+           counter can, so the decode saturates at the top rank — it
+           still decodes (wrongly) instead of stepping outside the
+           enumeration. *)
+        let kmax = List.length (Xset.to_list xset) - 1 in
+        let k = min ((r.got_a + r.r_w - 1) / r.r_w) kmax in
         let x = List.nth (Xset.to_list xset) k in
         ({ r with decoded = true }, List.map (fun d -> Action.Write d) x)
       end
@@ -72,7 +77,45 @@ let protocol ~xset ~drop_budget =
         Proc.make ~state:{ r_w = w; got_a = 0; decoded = false } ~step:(receiver_step xset) ());
     (* Encodes the input's rank in the allowable set: identity-sensitive. *)
     symmetry = None;
-    perturb = None;
+    (* The corrupted-start space: the unary counters on both sides.
+       The sender's [got_y] echo count decides when to fire the
+       terminator — corrupted past (k−1)·W it enters phase 2 before
+       the receiver holds enough a's.  The receiver's [got_a] count IS
+       the message; scrambled, the first terminator decodes the wrong
+       rank outright.  The [decoded] flag is tied to the anchored tape
+       (decoding is the only write), so the enumeration sets it from
+       the written count.  Unary counting buys the tight alphabet at
+       the price of maximal fragility: E17 finds violations from
+       single-register corruptions, the contrast to the indexed
+       families where only paired corruptions bite. *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              match rank_of xset (Array.to_list input) with
+              | None -> invalid_arg "Ladder.perturb: input not in the allowable set"
+              | Some k ->
+                  List.init ((k * w) + 1) (fun got_y ->
+                      {
+                        Protocol.label = Printf.sprintf "S:got_y=%d" got_y;
+                        proc =
+                          Proc.make
+                            ~state:{ k; w; sent_a = 0; sent_b = 0; got_y }
+                            ~step:sender_step ();
+                      }));
+          receiver_states =
+            (fun ~written ->
+              let kmax = List.length (Xset.to_list xset) - 1 in
+              List.init ((kmax * w) + 1) (fun got_a ->
+                  {
+                    Protocol.label = Printf.sprintf "R:got_a=%d" got_a;
+                    proc =
+                      Proc.make
+                        ~state:{ r_w = w; got_a; decoded = written > 0 }
+                        ~step:(receiver_step xset) ();
+                  }));
+        };
   }
 
 let expected_learning_steps ~xset ~drop_budget x =

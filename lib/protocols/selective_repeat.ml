@@ -119,8 +119,74 @@ let protocol_mod channel ~domain ~window ~modulus =
               buffer = IntMap.empty;
             }
           ~step:receiver_step ());
-    symmetry = None;
-    perturb = None;
+    (* Frames are (seq, data) with the data slot generic;
+       acknowledgements carry only a sequence number.  Note the
+       corrupted-start space below is NOT data-independent (poisoned
+       buffers hold literal values), so witnesses from it are outside
+       the relabel-replay guarantee — the equivariance licenses the
+       clean-start symmetry quotient only. *)
+    symmetry =
+      Some
+        {
+          Kernel.Symm.on_sender_msg =
+            (fun pi m ->
+              let seq = m / domain and data = m mod domain in
+              (seq * domain) + pi data);
+          on_receiver_msg = (fun _ a -> a);
+        };
+    (* The corrupted-start space: every sender [base] position (pending
+       acks forgotten, cursor re-anchored) and receiver buffer poison.
+       The receiver's [expected] register mirrors the tape length and
+       is anchored by the {!Protocol.perturb} convention; what a
+       transient fault CAN scramble is the out-of-order buffer, so the
+       enumeration plants one phantom frame [expected+o -> v] per
+       in-window offset o >= 1 and datum v.  The phantom flushes as
+       soon as the in-order frame arrives and writes a value the sender
+       never sent — selective repeat trusts its buffer and is not
+       self-stabilising (E17 finds the witness). *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              let n = Array.length input in
+              List.init (n + 1) (fun base ->
+                  {
+                    Protocol.label = Printf.sprintf "S:base=%d" base;
+                    proc =
+                      Proc.make
+                        ~state:
+                          { input; domain; window; modulus; base; acked = IntMap.empty;
+                            cursor = base }
+                        ~step:sender_step ();
+                  }));
+          receiver_states =
+            (fun ~written ->
+              let clean buffer =
+                {
+                  r_domain = domain;
+                  r_window = window;
+                  r_modulus = modulus;
+                  expected = written;
+                  buffer;
+                }
+              in
+              {
+                Protocol.label = "R:clean";
+                proc = Proc.make ~state:(clean IntMap.empty) ~step:receiver_step ();
+              }
+              :: List.concat_map
+                   (fun o ->
+                     List.init domain (fun v ->
+                         {
+                           Protocol.label = Printf.sprintf "R:poison+%d=%d" o v;
+                           proc =
+                             Proc.make
+                               ~state:(clean (IntMap.singleton (written + o) v))
+                               ~step:receiver_step ();
+                         }))
+                   (List.init (window - 1) (fun k -> k + 1)));
+        };
   }
 
 let protocol ~domain ~window =

@@ -43,7 +43,38 @@ let protocol_on channel ~domain ~max_len =
         Proc.make ~state:{ input; domain; next = 0 } ~step:sender_step ());
     make_receiver = (fun () -> Proc.make ~state:{ r_domain = domain; got = 0 } ~step:receiver_step ());
     symmetry = None;
-    perturb = None;
+    (* The corrupted-start space: every value the sender's [next]
+       register can hold.  The receiver's whole local state is [got],
+       which mirrors the output-tape length — by the {!Protocol.perturb}
+       convention that component is environment-anchored, so the
+       receiver enumeration is the clean state alone.  Stenning is safe
+       from every corrupted start (unbounded headers make stale frames
+       unambiguous) but does NOT converge: a sender corrupted past the
+       receiver's count retransmits item [next] forever while the
+       receiver nacks a count the sender refuses to rewind to — the
+       sweep shows safe-but-incomplete points and the witness search
+       closes clean. *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              let n = Array.length input in
+              List.init (n + 1) (fun next ->
+                  {
+                    Protocol.label = Printf.sprintf "S:next=%d" next;
+                    proc = Proc.make ~state:{ input; domain; next } ~step:sender_step ();
+                  }));
+          receiver_states =
+            (fun ~written ->
+              [
+                {
+                  Protocol.label = "R:clean";
+                  proc =
+                    Proc.make ~state:{ r_domain = domain; got = written } ~step:receiver_step ();
+                };
+              ]);
+        };
   }
 
 let protocol ~domain ~max_len = protocol_on Channel.Chan.Reorder_del ~domain ~max_len

@@ -48,8 +48,51 @@ let protocol_on channel ~domain ~header_space =
     make_receiver =
       (fun () ->
         Proc.make ~state:{ r_domain = domain; r_hs = header_space; got = 0 } ~step:receiver_step ());
-    symmetry = None;
-    perturb = None;
+    (* Data messages are (header, data) with the data slot generic;
+       acknowledgements carry only a header. *)
+    symmetry =
+      Some
+        {
+          Kernel.Symm.on_sender_msg =
+            (fun pi m ->
+              let h = m / domain and data = m mod domain in
+              (h * domain) + pi data);
+          on_receiver_msg = (fun _ h -> h);
+        };
+    (* The corrupted-start space: every sender [next] cursor and every
+       receiver counter phase.  The receiver's [got] register mirrors
+       the output-tape length, but only [got mod hs] (and [got > 0]) is
+       behaviourally visible — a transient fault scrambling the counter
+       amounts to an offset against the anchored mirror, so the
+       enumeration at written count [w] is [got = w + offset] for
+       offset in [0, hs).  A phase-corrupted receiver accepts the wrong
+       item under the aliased header: E17 exhibits the violation
+       witness — bounded headers are not self-stabilising. *)
+    perturb =
+      Some
+        {
+          Protocol.sender_states =
+            (fun ~input ->
+              let n = Array.length input in
+              List.init (n + 1) (fun next ->
+                  {
+                    Protocol.label = Printf.sprintf "S:next=%d" next;
+                    proc =
+                      Proc.make
+                        ~state:{ input; domain; hs = header_space; next }
+                        ~step:sender_step ();
+                  }));
+          receiver_states =
+            (fun ~written ->
+              List.init header_space (fun offset ->
+                  {
+                    Protocol.label = Printf.sprintf "R:offset=%d" offset;
+                    proc =
+                      Proc.make
+                        ~state:{ r_domain = domain; r_hs = header_space; got = written + offset }
+                        ~step:receiver_step ();
+                  }));
+        };
   }
 
 let () =

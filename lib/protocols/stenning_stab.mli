@@ -1,0 +1,30 @@
+(** Self-stabilising Stenning — the stabilisation contrast to
+    {!Stenning}, over Stenning's home reordering channel.
+
+    Stock Stenning is already safe from every corrupted start
+    (unbounded headers make stale frames unambiguous) but it does not
+    {e converge}: the sender's ack rule only moves forward
+    ([ack > next]), so a cursor corrupted past the receiver's count
+    retransmits an item the receiver keeps nacking, forever.  The
+    stabilising variant makes two changes, the same discipline as
+    {!Abp_stab}: the sender adopts every acknowledged count wholesale
+    (an absolute resync that rewinds as happily as it advances), and
+    past the end it keeps retransmitting the last item as a
+    keep-alive so a corrupted done-flag cannot go quiescent opposite
+    a silent receiver.  Over a reordering channel a stale ack drags
+    the cursor backwards — costing retransmissions, never safety —
+    and the stale copies in flight are finite, so convergence holds
+    where FIFO-dependent {!Abp_stab} makes no claim. *)
+
+val protocol : domain:int -> max_len:int -> Kernel.Protocol.t
+(** Inputs of length at most [max_len] over a [Reorder_del] channel;
+    the declared alphabets (and the corrupted-start enumeration) are
+    sized accordingly. *)
+
+val protocol_on : Channel.Chan.kind -> domain:int -> max_len:int -> Kernel.Protocol.t
+
+val encode_msg : domain:int -> index:int -> data:int -> int
+(** The wire encoding of data messages: [index·domain + data]. *)
+
+val decode_msg : domain:int -> int -> int * int
+(** Inverse of {!encode_msg}: [(index, data)]. *)

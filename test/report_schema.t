@@ -82,9 +82,38 @@ rejects the artifact:
   stp: stab-abp.json: schema-valid, but report(s) carry ok=false: stab
   [124]
 
+The same sweep runs over every family with a perturb seam.  The
+stabilising variants converge (jobs-invariant like the canonical
+subject); a stock aliasing family hit with --search yields a witness
+and the gate rejects the artifact:
+
+  $ stp stab -p stenning-stab --jobs 1 --json sstab1.json > /dev/null
+  $ stp stab -p stenning-stab --jobs 3 --json sstab3.json > /dev/null
+  $ cmp sstab1.json sstab3.json
+  $ stp validate sstab1.json
+  sstab1.json: valid report artifact, 1 report(s), schema version 1
+  $ stp stab -p gbn-stab --search --json gstab.json > /dev/null
+  $ stp validate gstab.json
+  gstab.json: valid report artifact, 1 report(s), schema version 1
+  $ stp stab -p go-back-n --search --json gbn.json > /dev/null
+  stp: a corrupted start failed to stabilise (or reached a violation)
+  [124]
+  $ stp validate gbn.json
+  stp: gbn.json: schema-valid, but report(s) carry ok=false: stab
+  [124]
+
+The E17 artifact — stabilisation scaling curves across the families
+plus the per-family witness searches.  Deterministic bytes, with the
+verdict envelope gating every curve point and every witness replay:
+
+  $ stp experiments --quick --only E17 --json e17.json > /dev/null
+  $ stp validate e17.json
+  e17.json: valid report artifact, 1 report(s), schema version 1
+
 The corrupted-start soak battery rides the same machinery (scripted
-corrupt-state plans over the stabilising ABP, stock ABP for
-contrast), bit-identical across job counts:
+corrupt-state plans over the stabilising families, composed with
+mid-run faults, stock ABP for contrast), bit-identical across job
+counts:
 
   $ stp soak --stab --seed 5 --random-plans 1 --jobs 1 --json stab-soak1.json > /dev/null
   $ stp soak --stab --seed 5 --random-plans 1 --jobs 4 --json stab-soak4.json > /dev/null

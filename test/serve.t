@@ -102,6 +102,30 @@ offending event):
   $ stp validate corrupt1.json
   corrupt1.json: valid report artifact, 1 report(s), schema version 1
 
+A mid-run receiver corruption against one of the new stabilising
+families: the written-count convention anchors the drawn state to the
+live tape length, so the event is legal at any time and the windowed
+protocol recovers:
+
+  $ cat > midrun.json <<'EOF'
+  > [ { "label": "gbn-midrun-R", "protocol": "gbn-stab",
+  >     "channel": "fifo-lossy", "domain": 2, "max_len": 4, "window": 2,
+  >     "input": [0, 1, 1, 0],
+  >     "strategy": "round-robin", "seed": 3, "within": 256,
+  >     "plan": { "name": "midR",
+  >               "events": [ { "kind": "corrupt-state", "at": 6,
+  >                             "who": "receiver", "index": 0 } ] } } ]
+  > EOF
+  $ stp serve --once midrun.json --results-only --json midrun1.json | grep -A 5 'per-job results'
+  per-job results
+  +--------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | job          | protocol | channel    | strategy    | seed | stop      | steps | safe | complete | recovered | ttr |
+  +--------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  | gbn-midrun-R | gbn-stab | fifo-lossy | round-robin |    3 | completed |    14 |  yes |      yes | yes       |   8 |
+  +--------------+----------+------------+-------------+------+-----------+-------+------+----------+-----------+-----+
+  $ stp validate midrun1.json
+  midrun1.json: valid report artifact, 1 report(s), schema version 1
+
   $ sed 's/abp-stab/trivial/' corrupt.json > corrupt-bad.json
   $ stp serve --once corrupt-bad.json --json nope.json
   stp: corrupt-bad.json: job 0: corrupt-S@0#4: protocol declares no corrupted-start space

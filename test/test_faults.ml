@@ -109,6 +109,36 @@ let test_corrupt_absent_from_default_stream () =
         (draw None = draw (Some (0, 0))))
     [ 1; 2; 3; 7; 42 ]
 
+let test_random_draws_receiver_corruptions () =
+  (* With a receiver-only space every corruption drawn must target the
+     receiver (written-count convention makes any tape length legal),
+     and across seeds the pool actually yields some. *)
+  let count who space =
+    List.concat_map
+      (fun seed ->
+        let p =
+          Plan.random ~channel:Chan.Fifo_lossy ~rng:(Rng.create seed)
+            ~corrupt_space:space ()
+        in
+        List.filter_map
+          (function
+            | Plan.Corrupt_state { who = w; index; _ } when w = who -> Some index
+            | _ -> None)
+          p.Plan.events)
+      (List.init 60 (fun i -> i))
+  in
+  let r_only = count Plan.Receiver (0, 3) in
+  let s_in_r_only = count Plan.Sender (0, 3) in
+  check Alcotest.bool "receiver-only space draws receivers" true (r_only <> []);
+  check Alcotest.int "receiver-only space never draws senders" 0
+    (List.length s_in_r_only);
+  check Alcotest.bool "receiver indices in range" true
+    (List.for_all (fun i -> i >= 0 && i < 3) r_only);
+  let r_mixed = count Plan.Receiver (5, 2) in
+  check Alcotest.bool "mixed space draws receivers too" true (r_mixed <> []);
+  check Alcotest.bool "mixed receiver indices in range" true
+    (List.for_all (fun i -> i >= 0 && i < 2) r_mixed)
+
 let prop_corrupt_random_plans_validate =
   QCheck.Test.make ~name:"random corrupt-enabled plans validate" ~count:200
     QCheck.(pair small_nat (pair (int_bound 4) (int_bound 4)))
@@ -459,6 +489,8 @@ let () =
         [
           Alcotest.test_case "needs a declared space" `Quick test_corrupt_needs_space;
           Alcotest.test_case "opt-in draw stream" `Quick test_corrupt_absent_from_default_stream;
+          Alcotest.test_case "receiver corruptions drawn" `Quick
+            test_random_draws_receiver_corruptions;
           Alcotest.test_case "injected and survivable" `Quick test_corrupt_state_injected;
           Alcotest.test_case "shrinks index toward 0" `Quick test_shrink_corrupt_index_toward_zero;
         ]

@@ -236,8 +236,9 @@ let test_registry_protocols () =
   check (Alcotest.list Alcotest.string) "protocol names"
     (sorted
        [
-         "norep"; "coded"; "abp"; "abp-stab"; "stenning"; "stenning-mod"; "counting";
-         "counting-resend"; "trivial"; "ladder"; "hybrid"; "go-back-n"; "selective-repeat";
+         "norep"; "coded"; "abp"; "abp-stab"; "stenning"; "stenning-mod"; "stenning-stab";
+         "counting"; "counting-resend"; "trivial"; "ladder"; "hybrid"; "go-back-n";
+         "gbn-stab"; "selective-repeat";
        ])
     (sorted (Kernel.Registry.protocol_names ()));
   (* Every registered builder produces a protocol under the default
@@ -252,7 +253,7 @@ let test_registry_protocols () =
 let test_registry_experiments () =
   check (Alcotest.list Alcotest.string) "experiment ids"
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
-      "E14"; "E15"; "E16" ]
+      "E14"; "E15"; "E16"; "E17" ]
     (Kernel.Registry.experiment_ids ());
   check Alcotest.bool "case-insensitive lookup" true
     (match Kernel.Registry.find_experiment "e3" with

@@ -179,6 +179,235 @@ let test_sweep_report_shape () =
     (Result.is_ok
        (Stdx.Report.validate_artifact (Stdx.Json.to_string (Stdx.Report.to_json r))))
 
+let test_margins () =
+  let s = sweep () in
+  let s_margin, r_margin = Stab.margins s in
+  check Alcotest.int "one row per sender start" 5 (List.length s_margin);
+  check Alcotest.int "one row per receiver start" 2 (List.length r_margin);
+  let points rows = List.fold_left (fun acc (_, n, _, _) -> acc + n) 0 rows in
+  check Alcotest.int "sender rows cover the space" s.Stab.space_size (points s_margin);
+  check Alcotest.int "receiver rows cover the space" s.Stab.space_size (points r_margin);
+  let worst rows =
+    List.fold_left
+      (fun acc (_, _, _, wt) ->
+        match (acc, wt) with
+        | None, t -> t
+        | Some a, Some t -> Some (max a t)
+        | Some a, None -> Some a)
+      None rows
+  in
+  check Alcotest.bool "sender marginal max = global worst" true
+    (worst s_margin = s.Stab.worst_tts);
+  check Alcotest.bool "receiver marginal max = global worst" true
+    (worst r_margin = s.Stab.worst_tts)
+
+(* ------------------------- the protocol families ------------------------- *)
+
+(* Every seamed protocol in the registry, with the corrupt-space sizes
+   the seams pin on input [0;1;1;0] (ladder on [0;1] in its small
+   allowable set). *)
+let input4 = [| 0; 1; 1; 0 |]
+
+let ladder_small () =
+  Protocols.Ladder.protocol
+    ~xset:(Seqspace.Xset.All_upto { domain = 2; max_len = 2 })
+    ~drop_budget:1
+
+let families () =
+  [
+    ("abp", abp (), input4, Some (10, 4));
+    ("abp-stab", stab_p (), input4, Some (5, 2));
+    ("stenning", Protocols.Stenning.protocol ~domain:2 ~max_len:4, input4, Some (5, 1));
+    ( "stenning-mod",
+      Protocols.Stenning_mod.protocol_on Channel.Chan.Fifo_lossy ~domain:2 ~header_space:2,
+      input4,
+      Some (5, 2) );
+    ( "stenning-stab",
+      Protocols.Stenning_stab.protocol ~domain:2 ~max_len:4,
+      input4,
+      Some (5, 2) );
+    ("go-back-n", Protocols.Go_back_n.protocol ~domain:2 ~window:2, input4, Some (5, 3));
+    ( "gbn-stab",
+      Protocols.Gbn_stab.protocol ~domain:2 ~max_len:4 ~window:2,
+      input4,
+      Some (5, 2) );
+    ( "selective-repeat",
+      Protocols.Selective_repeat.protocol ~domain:2 ~window:2,
+      input4,
+      (* base in [0..4]; clean + one poison offset x two data values. *)
+      Some (5, 3) );
+    (* sender: got_y in [0..k·w] with k=4, w=3; receiver: got_a in
+       [0..kmax·w] with kmax=6 over the 7-element allowable set. *)
+    ("ladder", ladder_small (), [| 0; 1 |], Some (13, 19));
+  ]
+
+let test_family_seams_validate () =
+  List.iter
+    (fun (name, p, input, space) ->
+      check Alcotest.bool (name ^ " validates") true
+        (Protocol.validate_perturb p ~input = Ok ());
+      check Alcotest.bool (name ^ " space size") true
+        (Protocol.corrupt_space p ~input = space))
+    (families ())
+
+let test_family_clean_boot_first () =
+  (* Index 0 of each enumeration IS the clean boot state, checked by
+     state encoding, not just behaviour. *)
+  List.iter
+    (fun (name, p, input, _) ->
+      match Stab.space p ~input with
+      | (s0, r0) :: _ ->
+          check Alcotest.string (name ^ " sender index 0 = clean boot")
+            (Kernel.Proc.encode (p.Protocol.make_sender ~input))
+            (Kernel.Proc.encode s0.Protocol.proc);
+          check Alcotest.string (name ^ " receiver index 0 = clean boot")
+            (Kernel.Proc.encode (p.Protocol.make_receiver ()))
+            (Kernel.Proc.encode r0.Protocol.proc)
+      | [] -> Alcotest.failf "%s: empty corrupted-start space" name)
+    (families ())
+
+let prop_receiver_enumeration_written_invariant =
+  (* The written-count convention, as a law: at every tape length the
+     receiver enumeration has the same labels in the same order. *)
+  QCheck.Test.make ~name:"receiver enumeration is written-invariant" ~count:100
+    QCheck.(pair (int_bound 8) (int_bound 20))
+    (fun (fi, written) ->
+      let fams = families () in
+      let _, p, _, _ = List.nth fams (fi mod List.length fams) in
+      match p.Protocol.perturb with
+      | None -> QCheck.assume_fail ()
+      | Some pe ->
+          let labels w = List.map (fun c -> c.Protocol.label) (pe.Protocol.receiver_states ~written:w) in
+          labels written = labels 0)
+
+(* Drive a run preferring deliveries so the pair makes real progress
+   under a deterministic schedule. *)
+let drive_until p g ~steps ~stop =
+  (* Fair rotation through the four move kinds: every kind that stays
+     enabled is taken infinitely often, so acks reach the sender even
+     while it keeps refilling its own channel. *)
+  let g = ref g in
+  let n = ref 0 in
+  while (not (stop !g)) && !n < steps do
+    let moves = Sim.enabled p !g in
+    let pick f = List.find_opt f moves in
+    let wake_s = Some Move.Wake_sender in
+    let to_r = pick (function Move.Deliver_to_receiver _ -> true | _ -> false) in
+    let wake_r = Some Move.Wake_receiver in
+    let to_s = pick (function Move.Deliver_to_sender _ -> true | _ -> false) in
+    let order =
+      match !n mod 4 with
+      | 0 -> [ wake_s; to_r; wake_r; to_s ]
+      | 1 -> [ to_r; wake_r; to_s; wake_s ]
+      | 2 -> [ wake_r; to_s; wake_s; to_r ]
+      | _ -> [ to_s; wake_s; to_r; wake_r ]
+    in
+    let m = Option.get (List.find_map Fun.id order) in
+    g := Sim.apply p !g m;
+    incr n
+  done;
+  !g
+
+let test_midrun_receiver_corruption () =
+  (* Corrupting the receiver mid-run draws from the enumeration at the
+     live tape length: the tape survives untouched and the stabilising
+     protocol still finishes the transmission. *)
+  let p = Protocols.Gbn_stab.protocol ~domain:2 ~max_len:4 ~window:2 in
+  let input = input4 in
+  let g = Global.initial p ~input in
+  let g = drive_until p g ~steps:500 ~stop:(fun g -> Global.output_length g >= 2) in
+  check Alcotest.bool "made progress first" true (Global.output_length g >= 2);
+  let before = Global.output g in
+  (* Index 0 at the live length is the fresh-but-anchored state. *)
+  let g' = Sim.apply p g (Move.Corrupt_receiver 0) in
+  check Alcotest.bool "tape untouched by corruption" true (Global.output g' = before);
+  let g' =
+    drive_until p g' ~steps:2_000 ~stop:(fun g ->
+        Global.output g = Array.to_list input)
+  in
+  check Alcotest.bool "still safe" true (Global.safety_ok g');
+  check Alcotest.bool "still completes" true (Global.output g' = Array.to_list input)
+
+let test_family_witnesses_relabel () =
+  (* The aliasing families with data-independent corrupted starts:
+     their witnesses replay, and relabel-replay on the permuted
+     input.  (selective-repeat's poisoned buffers and ladder's
+     rank-coding are outside the relabel guarantee by design.) *)
+  let pi = function 0 -> 1 | 1 -> 0 | d -> d in
+  List.iter
+    (fun (name, p, input) ->
+      match search p input with
+      | Stab.No_violation _ ->
+          Alcotest.failf "%s must have a corrupted-start violation" name
+      | Stab.Violation w ->
+          check Alcotest.bool (name ^ " witness replays") true (Stab.replay p ~input w);
+          let eq = Option.get p.Protocol.symmetry in
+          let w' = Stab.relabel_witness eq pi w in
+          check Alcotest.bool (name ^ " relabelled witness replays") true
+            (Stab.replay p ~input:(Array.map pi input) w'))
+    [
+      ( "stenning-mod",
+        Protocols.Stenning_mod.protocol_on Channel.Chan.Fifo_lossy ~domain:2 ~header_space:2,
+        input4 );
+      ("go-back-n", Protocols.Go_back_n.protocol ~domain:2 ~window:2, input4);
+    ]
+
+let test_stabilising_families_close () =
+  (* Both new stabilising variants: sweep converges everywhere and the
+     capped BFS closes their corrupted-root spaces violation-free. *)
+  List.iter
+    (fun (name, p) ->
+      let s = Stab.sweep p ~input:input4 ~within:256 ~seed:7 () in
+      check Alcotest.bool (name ^ " all stabilised") true s.Stab.all_stabilised;
+      match search p [| 0; 1 |] with
+      | Stab.No_violation { closed; _ } -> check Alcotest.bool (name ^ " closed") true closed
+      | Stab.Violation _ -> Alcotest.failf "%s must have no reachable violation" name)
+    [
+      ("stenning-stab", Protocols.Stenning_stab.protocol ~domain:2 ~max_len:4);
+      ("gbn-stab", Protocols.Gbn_stab.protocol ~domain:2 ~max_len:4 ~window:2);
+    ]
+
+let test_new_family_sweep_jobs_invariant () =
+  let p () = Protocols.Gbn_stab.protocol ~domain:2 ~max_len:4 ~window:2 in
+  let show jobs =
+    Stdx.Json.to_string
+      (Stdx.Report.to_json
+         (Stab.sweep_report (Stab.sweep ~jobs (p ()) ~input:input4 ~within:256 ~seed:7 ())))
+  in
+  let r1 = show 1 in
+  List.iter
+    (fun j -> check Alcotest.string (Printf.sprintf "jobs %d identical" j) r1 (show j))
+    [ 4; 7 ]
+
+let test_written_variant_enumeration_rejected () =
+  (* The validator rejects a seam whose receiver labels depend on the
+     written count — indices must name the same corruption at every
+     injection time. *)
+  let p = stab_p () in
+  let bad =
+    {
+      p with
+      Protocol.perturb =
+        Some
+          {
+            Protocol.sender_states =
+              (fun ~input -> (Option.get p.Protocol.perturb).Protocol.sender_states ~input);
+            receiver_states =
+              (fun ~written ->
+                [
+                  {
+                    Protocol.label = Printf.sprintf "R:w=%d" written;
+                    proc = p.Protocol.make_receiver ();
+                  };
+                ]);
+          };
+    }
+  in
+  check Alcotest.bool "written-dependent labels rejected" true
+    (match Protocol.validate_perturb bad ~input:input4 with
+    | Error _ -> true
+    | Ok () -> false)
+
 let () =
   Alcotest.run "stab"
     [
@@ -202,10 +431,27 @@ let () =
           Alcotest.test_case "jobs invariant" `Quick test_sweep_jobs_invariant;
           Alcotest.test_case "needs a seam" `Quick test_sweep_needs_seam;
           Alcotest.test_case "report shape" `Quick test_sweep_report_shape;
+          Alcotest.test_case "margins" `Quick test_margins;
         ] );
       ( "search",
         [
           Alcotest.test_case "closes abp-stab" `Quick test_search_closes_stabilising;
           Alcotest.test_case "finds and replays abp witness" `Quick test_search_finds_abp_witness;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "seams validate with pinned spaces" `Quick
+            test_family_seams_validate;
+          Alcotest.test_case "index 0 is the clean boot" `Quick test_family_clean_boot_first;
+          QCheck_alcotest.to_alcotest prop_receiver_enumeration_written_invariant;
+          Alcotest.test_case "mid-run receiver corruption" `Quick
+            test_midrun_receiver_corruption;
+          Alcotest.test_case "witnesses relabel-replay" `Quick test_family_witnesses_relabel;
+          Alcotest.test_case "stabilising variants close" `Quick
+            test_stabilising_families_close;
+          Alcotest.test_case "new family jobs invariant" `Quick
+            test_new_family_sweep_jobs_invariant;
+          Alcotest.test_case "written-dependent enumeration rejected" `Quick
+            test_written_variant_enumeration_rejected;
         ] );
     ]
